@@ -1,0 +1,32 @@
+"""Benchmark-suite configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each file regenerates one table/figure from DESIGN.md §5 and records
+the measured rows via the ``rows`` fixture (printed at the end of the
+session so EXPERIMENTS.md can be refreshed from the output).
+"""
+
+import pytest
+
+_COLLECTED: list[str] = []
+
+
+@pytest.fixture
+def record_rows():
+    """Collect formatted table rows for the end-of-session dump."""
+
+    def _record(title, rows):
+        _COLLECTED.append(f"\n== {title} ==")
+        for row in rows:
+            _COLLECTED.append(row.format() if hasattr(row, "format") else str(row))
+        return rows
+
+    return _record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _COLLECTED:
+        print("\n" + "\n".join(_COLLECTED))

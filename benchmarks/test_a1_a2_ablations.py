@@ -1,0 +1,70 @@
+"""A1/A2 — ablations of the algorithm's ingredients.
+
+A1: backward revisits off => incompleteness (measured as lost
+executions); maximality check off => wasted revisit construction.
+A2: incremental consistency checking off => identical counts, with
+the filtering deferred to completion (more explored dead graphs).
+"""
+
+import pytest
+
+from repro.bench.harness import run_hmc
+from repro.bench.workloads import ainc, casrot, peterson, sb_n
+
+
+@pytest.mark.parametrize("name,program", [("sb(3)", sb_n(3)), ("ainc(3)", ainc(3))])
+def test_a1_revisits_off(benchmark, name, program, record_rows):
+    full = run_hmc(program, "tso")
+    crippled = benchmark.pedantic(
+        run_hmc,
+        args=(program, "tso"),
+        kwargs={"tool_name": "no-revisits", "backward_revisits": False},
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(f"A1 {name}", [full, crippled])
+    assert crippled.executions < full.executions
+
+
+def test_a1_revisits_off_misses_bugs(record_rows):
+    program = peterson(False)
+    full = run_hmc(program, "tso")
+    crippled = run_hmc(
+        program, "tso", tool_name="no-revisits", backward_revisits=False
+    )
+    record_rows("A1 peterson", [full, crippled])
+    assert full.errors > crippled.errors
+
+
+@pytest.mark.parametrize(
+    "name,program", [("sb(3)", sb_n(3)), ("casrot(3)", casrot(3))]
+)
+def test_a1_maximality_off(benchmark, name, program, record_rows):
+    strict = run_hmc(program, "imm")
+    loose = benchmark.pedantic(
+        run_hmc,
+        args=(program, "imm"),
+        kwargs={"tool_name": "no-maximality", "maximality_check": False},
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(f"A1-max {name}", [strict, loose])
+    assert loose.executions == strict.executions
+
+
+@pytest.mark.parametrize(
+    "name,program", [("ainc(3)", ainc(3)), ("casrot(3)", casrot(3))]
+)
+def test_a2_incremental_off(benchmark, name, program, record_rows):
+    incremental = run_hmc(program, "imm")
+    deferred = benchmark.pedantic(
+        run_hmc,
+        args=(program, "imm"),
+        kwargs={"tool_name": "no-incremental", "incremental_checks": False},
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(f"A2 {name}", [incremental, deferred])
+    assert deferred.executions == incremental.executions
+    # deferring the model check surfaces as extra blocked/abandoned work
+    assert deferred.blocked >= incremental.blocked

@@ -1,0 +1,54 @@
+"""F1 — scaling with the parameter N: executions and time for HMC vs
+the trace-based baselines.
+
+The figure's shape: HMC's curve follows the number of consistent
+executions; the interleaving and store-buffer curves grow by an extra
+factorial/exponential factor in N.
+"""
+
+import pytest
+
+from repro.bench.harness import run_hmc, run_interleaving, run_store_buffer
+from repro.bench.workloads import ainc, sb_n
+
+NS = [2, 3, 4]
+
+
+@pytest.mark.parametrize("n", NS)
+def test_f1_sb_hmc(benchmark, n, record_rows):
+    row = benchmark.pedantic(run_hmc, args=(sb_n(n), "tso"), rounds=1, iterations=1)
+    record_rows(f"F1 sb({n}) hmc/tso", [row])
+    assert row.executions == 2**n
+
+
+@pytest.mark.parametrize("n", NS)
+def test_f1_sb_interleaving(benchmark, n, record_rows):
+    row = benchmark.pedantic(
+        run_interleaving, args=(sb_n(n),), rounds=1, iterations=1
+    )
+    record_rows(f"F1 sb({n}) interleaving", [row])
+
+
+@pytest.mark.parametrize("n", [2, 3])
+def test_f1_sb_store_buffer(benchmark, n, record_rows):
+    row = benchmark.pedantic(
+        run_store_buffer, args=(sb_n(n), "tso"), rounds=1, iterations=1
+    )
+    record_rows(f"F1 sb({n}) store-buffer", [row])
+
+
+@pytest.mark.parametrize("n", [2, 3])
+def test_f1_ainc_hmc(benchmark, n, record_rows):
+    row = benchmark.pedantic(run_hmc, args=(ainc(n), "imm"), rounds=1, iterations=1)
+    record_rows(f"F1 ainc({n}) hmc/imm", [row])
+
+
+def test_f1_series_shape(record_rows):
+    """The gap (traces / executions) must widen with n."""
+    gaps = []
+    for n in (2, 3):
+        hmc = run_hmc(sb_n(n), "sc")
+        il = run_interleaving(sb_n(n))
+        record_rows(f"F1 shape sb({n})", [hmc, il])
+        gaps.append(il.extra["traces"] / hmc.executions)
+    assert gaps[1] > gaps[0]

@@ -1,0 +1,45 @@
+"""F2 — the same programs across progressively weaker models.
+
+The figure's shape: execution counts grow monotonically along
+sc -> tso -> pso -> hardware for the buffering family, and every
+model's count sits between SC's and coherence-only's.
+"""
+
+import pytest
+
+from repro.bench.harness import run_hmc
+from repro.bench.workloads import casrot, sb_n
+from repro.litmus import get_litmus
+
+MODELS = ["sc", "tso", "pso", "ra", "rc11", "imm", "armv8", "power", "coherence"]
+PROGRAMS = {
+    "sb(3)": sb_n(3),
+    "casrot(3)": casrot(3),
+    "LB": get_litmus("LB").program,
+    "MP": get_litmus("MP").program,
+}
+
+
+@pytest.mark.parametrize("model", MODELS)
+@pytest.mark.parametrize("name", list(PROGRAMS))
+def test_f2(benchmark, name, model, record_rows):
+    row = benchmark.pedantic(
+        run_hmc, args=(PROGRAMS[name], model), rounds=1, iterations=1
+    )
+    record_rows(f"F2 {name} {model}", [row])
+
+
+def test_f2_bounds(record_rows):
+    for name, program in PROGRAMS.items():
+        sc = run_hmc(program, "sc").executions
+        weakest = run_hmc(program, "coherence").executions
+        for model in MODELS:
+            count = run_hmc(program, model).executions
+            assert sc <= count <= weakest, (name, model)
+
+
+def test_f2_buffering_chain(record_rows):
+    """sc <= tso <= pso on the store-buffering family."""
+    program = PROGRAMS["sb(3)"]
+    counts = [run_hmc(program, m).executions for m in ("sc", "tso", "pso")]
+    assert counts == sorted(counts)

@@ -1,0 +1,47 @@
+"""F3 — load-buffering capability: the executions only HMC-style
+dependency prefixes can construct.
+
+The figure: for LB rings of size n, the porf-acyclic models top out at
+2^n - 1 executions; the hardware models reach 2^n, and the extra
+execution disappears when backward revisits are disabled.
+"""
+
+import pytest
+
+from repro import ProgramBuilder
+from repro.bench.harness import run_hmc
+
+def lb_ring(n: int):
+    p = ProgramBuilder(f"lb-ring({n})")
+    regs = []
+    for i in range(n):
+        t = p.thread()
+        regs.append(t.load(f"x{i}"))
+        t.store(f"x{(i + 1) % n}", 1)
+    p.observe(*regs)
+    return p.build()
+
+
+@pytest.mark.parametrize("n", [2, 3])
+@pytest.mark.parametrize("model", ["rc11", "imm", "armv8", "power"])
+def test_f3_ring(benchmark, n, model, record_rows):
+    row = benchmark.pedantic(
+        run_hmc, args=(lb_ring(n), model), rounds=1, iterations=1
+    )
+    record_rows(f"F3 lb-ring({n}) {model}", [row])
+    if model == "rc11":
+        assert row.executions == 2**n - 1
+    else:
+        assert row.executions == 2**n
+
+
+@pytest.mark.parametrize("n", [2, 3])
+def test_f3_needs_revisits(benchmark, n, record_rows):
+    def crippled():
+        return run_hmc(
+            lb_ring(n), "imm", tool_name="no-revisits", backward_revisits=False
+        )
+
+    row = benchmark.pedantic(crippled, rounds=1, iterations=1)
+    record_rows(f"F3 lb-ring({n}) no-revisits", [row])
+    assert row.executions < 2**n

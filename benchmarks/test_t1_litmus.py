@@ -1,0 +1,34 @@
+"""T1 — model validation: litmus verdicts across all nine models.
+
+The quantity benchmarked is the full-matrix checking time (243 cells);
+the regenerated table itself is the verdict matrix, asserted against
+the literature as part of the run.
+"""
+
+from repro.litmus import MODELS, all_litmus_tests, allowed, run_litmus
+
+
+def run_matrix():
+    mismatches = 0
+    cells = 0
+    for test in all_litmus_tests():
+        for model in MODELS:
+            verdict = run_litmus(test, model)
+            cells += 1
+            if verdict.observed != allowed(test.name, model):
+                mismatches += 1
+    return cells, mismatches
+
+
+def test_t1_full_matrix(benchmark):
+    cells, mismatches = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    assert cells == len(all_litmus_tests()) * len(MODELS)
+    assert mismatches == 0
+
+
+def test_t1_single_model_tso(benchmark):
+    def tso_column():
+        return [run_litmus(t, "tso").observed for t in all_litmus_tests()]
+
+    observed = benchmark(tso_column)
+    assert len(observed) == len(all_litmus_tests())

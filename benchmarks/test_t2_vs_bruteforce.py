@@ -1,0 +1,39 @@
+"""T2 — HMC vs herd-style axiomatic brute force.
+
+Both enumerate the same set of consistent execution graphs (asserted);
+the brute force pays for every *candidate* (rf x co x resolution),
+HMC only for graphs it actually constructs.  The rows report both
+counts so the table shows the candidate blowup.
+"""
+
+import pytest
+
+from repro.bench.harness import run_brute_force, run_hmc
+from repro.litmus import get_litmus
+
+CASES = ["SB", "MP", "LB", "IRIW", "2+2W", "2xFAI"]
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_t2_hmc(benchmark, name, record_rows):
+    program = get_litmus(name).program
+    row = benchmark(run_hmc, program, "imm")
+    record_rows(f"T2 hmc {name}", [row])
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_t2_bruteforce(benchmark, name, record_rows):
+    program = get_litmus(name).program
+    row = benchmark(run_brute_force, program, "imm")
+    record_rows(f"T2 brute-force {name}", [row])
+
+
+def test_t2_counts_agree(record_rows):
+    for name in CASES:
+        program = get_litmus(name).program
+        hmc = run_hmc(program, "imm")
+        bf = run_brute_force(program, "imm")
+        record_rows(f"T2 {name}", [hmc, bf])
+        assert hmc.executions == bf.executions, name
+        # the brute force had to sift through far more candidates
+        assert bf.extra["candidates"] >= hmc.executions

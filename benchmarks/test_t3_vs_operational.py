@@ -1,0 +1,61 @@
+"""T3 — HMC vs the operational baselines (interleavings, DPOR,
+store-buffer machines) on the workloads the paper's comparison uses.
+
+The shape to reproduce: trace-based tools explore a superset of
+states that grows much faster with the thread count; the store-buffer
+machine is the worst (it also schedules buffer flushes).
+"""
+
+import pytest
+
+from repro.bench.harness import (
+    run_dpor,
+    run_hmc,
+    run_interleaving,
+    run_store_buffer,
+)
+from repro.bench.workloads import ainc, readers, sb_n
+
+PROGRAMS = {
+    "sb(2)": sb_n(2),
+    "sb(3)": sb_n(3),
+    "ainc(2)": ainc(2),
+    "readers(2)": readers(2),
+}
+
+
+@pytest.mark.parametrize("name", list(PROGRAMS))
+def test_t3_hmc_sc(benchmark, name, record_rows):
+    row = benchmark(run_hmc, PROGRAMS[name], "sc")
+    record_rows(f"T3 {name} hmc/sc", [row])
+
+
+@pytest.mark.parametrize("name", list(PROGRAMS))
+def test_t3_interleaving(benchmark, name, record_rows):
+    row = benchmark(run_interleaving, PROGRAMS[name])
+    record_rows(f"T3 {name} interleaving", [row])
+
+
+@pytest.mark.parametrize("name", list(PROGRAMS))
+def test_t3_dpor(benchmark, name, record_rows):
+    row = benchmark(run_dpor, PROGRAMS[name])
+    record_rows(f"T3 {name} dpor", [row])
+
+
+@pytest.mark.parametrize("name", ["sb(2)", "sb(3)"])
+def test_t3_store_buffer_tso(benchmark, name, record_rows):
+    row = benchmark(run_store_buffer, PROGRAMS[name], "tso")
+    record_rows(f"T3 {name} store-buffer", [row])
+
+
+def test_t3_shape_holds(record_rows):
+    """The crossover the table documents: graphs < dpor-traces <=
+    interleavings < buffer-machine states."""
+    program = PROGRAMS["sb(3)"]
+    hmc = run_hmc(program, "sc")
+    dpor = run_dpor(program)
+    il = run_interleaving(program)
+    sb = run_store_buffer(program, "tso")
+    record_rows("T3 shape sb(3)", [hmc, dpor, il, sb])
+    assert hmc.executions <= dpor.extra["traces"] <= il.extra["traces"]
+    assert il.extra["traces"] < sb.extra["traces"]

@@ -1,0 +1,44 @@
+"""T4 — the synthetic suite (ainc, ninc, casrot, fib, lastzero,
+indexer, readers) under TSO and IMM: executions, blocked, time."""
+
+import pytest
+
+from repro.bench.harness import run_hmc
+from repro.bench.workloads import (
+    ainc,
+    casrot,
+    fib_bench,
+    indexer,
+    lastzero,
+    ninc,
+    readers,
+)
+
+PROGRAMS = {
+    "ainc(3)": ainc(3),
+    "ninc(3)": ninc(3),
+    "casrot(3)": casrot(3),
+    "fib(2)": fib_bench(2),
+    "lastzero(2)": lastzero(2),
+    "indexer(2)": indexer(2),
+    "readers(3)": readers(3),
+}
+
+
+@pytest.mark.parametrize("model", ["tso", "imm"])
+@pytest.mark.parametrize("name", list(PROGRAMS))
+def test_t4(benchmark, name, model, record_rows):
+    row = benchmark.pedantic(
+        run_hmc, args=(PROGRAMS[name], model), rounds=1, iterations=1
+    )
+    record_rows(f"T4 {name} {model}", [row])
+    assert row.executions > 0
+
+
+def test_t4_weaker_model_superset(record_rows):
+    """IMM admits at least as many executions as TSO on every entry."""
+    for name, program in PROGRAMS.items():
+        tso = run_hmc(program, "tso")
+        imm = run_hmc(program, "imm")
+        record_rows(f"T4 {name}", [tso, imm])
+        assert imm.executions >= tso.executions, name

@@ -1,0 +1,61 @@
+"""T5 — lock and synchronisation verification across models: the
+verdicts and the cost of obtaining them."""
+
+import pytest
+
+from repro.bench.harness import run_hmc
+from repro.bench.workloads import (
+    barrier,
+    dekker,
+    peterson,
+    seqlock,
+    ticket_lock,
+    ttas_lock,
+)
+from repro.events import MemOrder
+
+SAFE = {
+    ("ticket-rlx", "sc"): True,
+    ("ticket-rlx", "tso"): True,
+    ("ticket-rlx", "imm"): False,
+    ("ticket-acqrel", "imm"): True,
+    ("peterson", "sc"): True,
+    ("peterson", "tso"): False,
+    ("peterson-fenced", "tso"): True,
+    ("dekker", "tso"): False,
+    ("dekker-fenced", "tso"): True,
+    ("seqlock", "rc11"): True,
+    ("seqlock", "power"): False,
+    ("barrier", "ra"): True,
+}
+
+PROGRAMS = {
+    "ticket-rlx": ticket_lock(2),
+    "ticket-acqrel": ticket_lock(2, MemOrder.ACQ_REL),
+    "ttas-rlx": ttas_lock(2),
+    "peterson": peterson(False),
+    "peterson-fenced": peterson(True),
+    "dekker": dekker(False),
+    "dekker-fenced": dekker(True),
+    "seqlock": seqlock(1, 1),
+    "barrier": barrier(2),
+}
+
+CASES = sorted(SAFE)
+
+
+@pytest.mark.parametrize("name,model", CASES, ids=[f"{n}-{m}" for n, m in CASES])
+def test_t5_verdicts(benchmark, name, model, record_rows):
+    row = benchmark.pedantic(
+        run_hmc, args=(PROGRAMS[name], model), rounds=1, iterations=1
+    )
+    record_rows(f"T5 {name} {model}", [row])
+    assert (row.errors == 0) == SAFE[(name, model)], (name, model)
+
+
+def test_t5_ticket_lock_scaling(benchmark, record_rows):
+    row = benchmark.pedantic(
+        run_hmc, args=(ticket_lock(3), "sc"), rounds=1, iterations=1
+    )
+    record_rows("T5 ticket(3) sc", [row])
+    assert row.errors == 0

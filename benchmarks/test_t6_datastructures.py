@@ -1,0 +1,45 @@
+"""T6 — lock-free data structures across models: verdicts and cost
+(the extension suite beyond the paper's synthetic benchmarks)."""
+
+import pytest
+
+from repro.bench.datastructures import (
+    mp_queue,
+    rw_lock,
+    treiber_stack,
+    xchg_spinlock,
+)
+from repro.bench.harness import run_hmc
+from repro.events import MemOrder
+
+SAFE = {
+    ("treiber", "imm"): True,
+    ("treiber-rlx", "imm"): False,
+    ("mpq", "rc11"): True,
+    ("mpq-rlx", "power"): False,
+    ("xchg-lock", "imm"): True,
+    ("xchg-lock-rlx", "imm"): False,
+    ("rwlock", "armv8"): True,
+    ("rwlock", "imm"): False,
+}
+
+PROGRAMS = {
+    "treiber": treiber_stack(2, 1),
+    "treiber-rlx": treiber_stack(2, 1, MemOrder.RLX),
+    "mpq": mp_queue(1, 1),
+    "mpq-rlx": mp_queue(1, 1, order=MemOrder.RLX),
+    "xchg-lock": xchg_spinlock(2),
+    "xchg-lock-rlx": xchg_spinlock(2, MemOrder.RLX),
+    "rwlock": rw_lock(1, 1),
+}
+
+CASES = sorted(SAFE)
+
+
+@pytest.mark.parametrize("name,model", CASES, ids=[f"{n}-{m}" for n, m in CASES])
+def test_t6_verdicts(benchmark, name, model, record_rows):
+    row = benchmark.pedantic(
+        run_hmc, args=(PROGRAMS[name], model), rounds=1, iterations=1
+    )
+    record_rows(f"T6 {name} {model}", [row])
+    assert (row.errors == 0) == SAFE[(name, model)], (name, model)

@@ -1,0 +1,46 @@
+"""Automatic fence synthesis: let the checker place the fences.
+
+The workflow the paper's line of tools enables: take an algorithm
+that is correct under SC, discover where it breaks on a weak model,
+and search the space of fence placements for a minimal repair — each
+candidate verified exhaustively by the model checker.
+
+Run with::
+
+    python examples/fence_synthesis.py
+"""
+
+from repro import verify
+from repro.bench.datastructures import rw_lock
+from repro.bench.workloads import dekker, peterson
+from repro.core.repair import synthesize_fences
+from repro.events import FenceKind
+
+JOBS = [
+    ("Dekker entry protocol", dekker(False), "tso", FenceKind.MFENCE),
+    ("Peterson's algorithm", peterson(False), "tso", FenceKind.MFENCE),
+    # acq/rel is enough for the rwlock on TSO/ARMv8, but its
+    # writer-checks-readers handshake is a store-buffering shape:
+    # on IMM it needs a real fence, and the synthesiser finds where
+    ("reader/writer lock", rw_lock(1, 1), "imm", FenceKind.SYNC),
+]
+
+for title, program, model, fence in JOBS:
+    broken = verify(program, model, stop_on_error=False)
+    print(f"== {title} under {model} ==")
+    print(
+        f"  before: {'SAFE' if broken.ok else 'BROKEN'} "
+        f"({len(broken.errors)} violating executions)"
+    )
+    result = synthesize_fences(program, model, fence, max_fences=2)
+    print(f"  {result.summary()}")
+    if result.repaired is not None and not result.already_safe:
+        check = verify(result.repaired, model, stop_on_error=False)
+        print(
+            f"  after : {'SAFE' if check.ok else 'still broken'} "
+            f"({check.executions} executions re-verified)"
+        )
+    print()
+
+print("every candidate placement was verified exhaustively — the")
+print("returned fence sets are minimal in cardinality by construction.")

@@ -1,0 +1,45 @@
+"""A tour of the litmus corpus: the verdict matrix across all models.
+
+Prints, for every litmus test in the corpus, whether its probed
+relaxed outcome is observable under each memory model — the
+reproduction of experiment T1.  ``x`` marks allowed (observable),
+``.`` forbidden.
+
+Run with::
+
+    python examples/litmus_tour.py
+"""
+
+from repro.litmus import MODELS, all_litmus_tests, allowed, run_litmus
+
+header = f"{'test':17s}" + "".join(f"{m:>10s}" for m in MODELS)
+print(header)
+print("-" * len(header))
+
+deviations = 0
+for test in all_litmus_tests():
+    cells = []
+    for model in MODELS:
+        verdict = run_litmus(test, model)
+        mark = "x" if verdict.observed else "."
+        if verdict.observed != allowed(test.name, model):
+            mark += "!"  # deviation from the literature verdict
+            deviations += 1
+        cells.append(f"{mark:>10s}")
+    print(f"{test.name:17s}" + "".join(cells))
+
+print("-" * len(header))
+print("x = probed outcome observable, . = forbidden")
+if deviations:
+    print(f"WARNING: {deviations} cells deviate from the literature!")
+else:
+    print("all verdicts match the published model definitions")
+
+print("\nhighlights to look for:")
+print("  SB        : forbidden only under sc (store buffers everywhere else)")
+print("  MP        : pso relaxes W->W, so it joins the hardware models")
+print("  LB        : the porf-acyclic models (sc..rc11) all forbid it;")
+print("              imm/armv8/power allow it - HMC's raison d'etre")
+print("  IRIW      : ra/rc11 allow it without SC fences; TSO never does")
+print("  IRIW+lwsyncs: POWER's lwsync is not cumulative enough - still allowed")
+print("  WRC       : allowed on power (not multi-copy atomic), forbidden on armv8")

@@ -1,0 +1,52 @@
+"""repro — a reproduction of *HMC: Model Checking for Hardware Memory
+Models* (Kokologiannakis & Vafeiadis, ASPLOS 2020).
+
+A stateless model checker for bounded concurrent programs, parametric
+in an axiomatic memory model (SC, x86-TSO, PSO, RA, RC11, IMM, ARMv8,
+POWER).  Quickstart::
+
+    from repro import ProgramBuilder, verify
+
+    p = ProgramBuilder("SB")
+    t1 = p.thread(); t1.store("x", 1); a = t1.load("y")
+    t2 = p.thread(); t2.store("y", 1); b = t2.load("x")
+    p.observe(a, b)
+
+    print(verify(p.build(), "tso").summary())
+"""
+
+from .core import (
+    ExplorationOptions,
+    Explorer,
+    VerificationResult,
+    count_executions,
+    estimate_explorations,
+    verify,
+)
+from .core.compare import compare_models
+from .core.repair import synthesize_fences
+from .events import FenceKind, MemOrder
+from .lang import Program, ProgramBuilder
+from .models import MemoryModel, all_models, get_model, model_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExplorationOptions",
+    "compare_models",
+    "estimate_explorations",
+    "synthesize_fences",
+    "Explorer",
+    "FenceKind",
+    "MemOrder",
+    "MemoryModel",
+    "Program",
+    "ProgramBuilder",
+    "VerificationResult",
+    "all_models",
+    "count_executions",
+    "get_model",
+    "model_names",
+    "verify",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Baseline explorers the paper compares against: axiomatic brute
+force (herd-style), SC interleaving enumeration, sleep-set DPOR, and
+operational store-buffer machines (Nidhugg-style)."""
+
+from .dpor import DporResult, explore_dpor
+from .exhaustive import BruteForceResult, brute_force
+from .interleaving import InterleavingResult, explore_interleavings
+from .statehash import StateHashResult, explore_with_state_hashing
+from .storebuffer import StoreBufferResult, explore_store_buffers
+
+__all__ = [
+    "BruteForceResult",
+    "DporResult",
+    "InterleavingResult",
+    "StateHashResult",
+    "StoreBufferResult",
+    "brute_force",
+    "explore_dpor",
+    "explore_interleavings",
+    "explore_store_buffers",
+    "explore_with_state_hashing",
+]

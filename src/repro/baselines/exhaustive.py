@@ -1,0 +1,197 @@
+"""Herd-style axiomatic brute force.
+
+Enumerates *every* candidate execution — all read-value resolutions,
+all reads-from assignments, all coherence orders — and filters by the
+model's consistency predicate.  Grossly exponential, but it is ground
+truth: the test suite checks that HMC's set of canonical execution
+graphs equals this enumerator's on every litmus test and on random
+small programs.
+
+The value domain is computed as a fixpoint: starting from 0, replay
+threads against every value combination and collect the values their
+writes produce, until no new value appears.  This mirrors what herd's
+candidate-execution generation achieves for litmus programs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..events import Event, ReadLabel, Value, WriteLabel
+from ..graphs import ExecutionGraph, canonical_key, final_state
+from ..lang import Program, ReplayStatus, ThreadReplay, replay
+from ..models import MemoryModel, get_model
+
+
+@dataclass
+class BruteForceResult:
+    program: str
+    model: str
+    executions: int = 0
+    blocked: int = 0
+    errors: int = 0
+    candidates: int = 0
+    #: thread-resolution combinations examined
+    combos: int = 0
+    keys: set = field(default_factory=set)
+    final_states: set = field(default_factory=set)
+    outcomes: set = field(default_factory=set)
+
+
+def _value_domain(program: Program, cap: int = 8) -> list[Value]:
+    """Fixpoint of values any write can produce (plus 0).
+
+    Iterates per thread: a write's value can only depend on its own
+    thread's reads, so thread-local resolution saturates the domain.
+    """
+    domain: set[Value] = {0}
+    for _ in range(cap):
+        new: set[Value] = set()
+        for tid in range(program.num_threads):
+            frontier: list[tuple[Value, ...]] = [()]
+            while frontier:
+                values = frontier.pop()
+                rep = replay(program.threads[tid], tid, values)
+                for lab in rep.labels:
+                    if isinstance(lab, WriteLabel):
+                        new.add(lab.value)
+                if rep.status is ReplayStatus.NEEDS_VALUE:
+                    frontier.extend(values + (v,) for v in sorted(domain))
+        if new <= domain:
+            return sorted(domain)
+        domain |= new
+    return sorted(domain)
+
+
+def brute_force(
+    program: Program,
+    model: MemoryModel | str,
+    max_candidates: int = 2_000_000,
+) -> BruteForceResult:
+    """Enumerate and filter all candidate executions of ``program``."""
+    model = get_model(model) if isinstance(model, str) else model
+    result = BruteForceResult(program.name, model.name)
+    domain = _value_domain(program)
+    for combo, value_vectors in _resolved_combos(program, domain):
+        # resolution combos count against the budget too — otherwise a
+        # huge product of unjustifiable combos would grind forever
+        # without ever tripping the guard
+        result.combos += 1
+        if result.combos > max_candidates:
+            raise RuntimeError("brute force exceeded the combo budget")
+        _check_candidates(
+            program, model, combo, value_vectors, result, max_candidates
+        )
+        if result.candidates > max_candidates:
+            raise RuntimeError("brute force exceeded the candidate budget")
+    return result
+
+
+def _resolved_combos(program: Program, domain: list[Value]):
+    per_thread: list[list[tuple[ThreadReplay, tuple[Value, ...]]]] = []
+    for tid in range(program.num_threads):
+        resolutions: list[tuple[ThreadReplay, tuple[Value, ...]]] = []
+        frontier: list[tuple[Value, ...]] = [()]
+        while frontier:
+            values = frontier.pop()
+            rep = replay(program.threads[tid], tid, values)
+            if rep.status is ReplayStatus.NEEDS_VALUE:
+                frontier.extend(values + (v,) for v in domain)
+            else:
+                used = sum(
+                    1 for lab in rep.labels if isinstance(lab, ReadLabel)
+                )
+                resolutions.append((rep, values[:used]))
+        per_thread.append(resolutions)
+    for combo in itertools.product(*per_thread):
+        yield (
+            {tid: rep for tid, (rep, _) in enumerate(combo)},
+            {tid: vals for tid, (_, vals) in enumerate(combo)},
+        )
+
+
+def _check_candidates(
+    program: Program,
+    model: MemoryModel,
+    combo: dict[int, ThreadReplay],
+    value_vectors: dict[int, tuple[Value, ...]],
+    result: BruteForceResult,
+    max_candidates: int,
+) -> None:
+    reads: list[tuple[Event, ReadLabel, Value]] = []
+    writes_by_loc: dict[str, list[tuple[Event, WriteLabel]]] = {}
+    thread_labels: dict[int, list] = {}
+    for tid, rep in combo.items():
+        thread_labels[tid] = list(rep.labels)
+        consumed = 0
+        for index, lab in enumerate(rep.labels):
+            ev = Event(tid, index)
+            if isinstance(lab, ReadLabel):
+                reads.append((ev, lab, value_vectors[tid][consumed]))
+                consumed += 1
+            elif isinstance(lab, WriteLabel):
+                writes_by_loc.setdefault(lab.loc, []).append((ev, lab))
+
+    # rf candidates per read: same-location writes with the right value
+    rf_options: list[list[Event | None]] = []
+    for _ev, lab, value in reads:
+        opts: list[Event | None] = [
+            w for w, wlab in writes_by_loc.get(lab.loc, []) if wlab.value == value
+        ]
+        if value == 0:
+            opts.append(None)  # the initialisation write
+        if not opts:
+            return  # value unjustifiable: not a candidate
+        rf_options.append(opts)
+
+    import math
+
+    co_options: list[list[tuple[Event, ...]]] = [
+        list(itertools.permutations([w for w, _ in ws]))
+        for ws in writes_by_loc.values()
+    ]
+    locs = list(writes_by_loc)
+
+    # trip the budget before materialising a hopeless product
+    product = math.prod(len(o) for o in rf_options) * math.prod(
+        len(o) for o in co_options
+    )
+    if result.candidates + product > max_candidates:
+        raise RuntimeError("brute force exceeded the candidate budget")
+
+    for rf_choice in itertools.product(*rf_options):
+        for co_choice in itertools.product(*co_options):
+            result.candidates += 1
+            graph = ExecutionGraph.from_parts(
+                thread_labels,
+                rf_map={},
+                co_orders={loc: list(order) for loc, order in zip(locs, co_choice)},
+            )
+            for (ev, lab, _value), src in zip(reads, rf_choice):
+                actual = src if src is not None else graph.init_write(lab.loc)
+                graph._rf[ev] = actual  # direct fill; validated by model
+            if not model.is_consistent(graph):
+                continue
+            if any(
+                rep.status is ReplayStatus.ERROR for rep in combo.values()
+            ):
+                result.errors += 1
+                continue
+            if any(
+                rep.status is ReplayStatus.BLOCKED for rep in combo.values()
+            ):
+                result.blocked += 1
+                continue
+            key = canonical_key(graph)
+            if key in result.keys:
+                continue
+            result.keys.add(key)
+            result.executions += 1
+            result.final_states.add(final_state(graph))
+            outcome = []
+            for tid, reg in program.observables:
+                regs = combo[tid].registers
+                if reg in regs:
+                    outcome.append((f"{reg}@{tid}", regs[reg]))
+            result.outcomes.add(tuple(sorted(outcome)))

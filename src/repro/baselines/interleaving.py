@@ -1,0 +1,180 @@
+"""Exhaustive interleaving enumeration under sequential consistency.
+
+The classical stateless-model-checking baseline: explore every
+scheduling of the threads against an operational shared memory.  Each
+maximal schedule is one "trace"; many traces induce the same execution
+graph, which is exactly the redundancy HMC's execution-graph
+exploration eliminates — the paper's tables compare these counts.
+
+RMWs execute atomically (read and write in one step), matching the
+event semantics of the graph-based checker, so the set of reachable
+execution graphs is identical (cross-checked in the tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..events import Event, Label, ReadLabel, Value, WriteLabel
+from ..graphs import ExecutionGraph, canonical_key, final_state
+from ..lang import Program, ReplayStatus, replay
+
+
+@dataclass
+class InterleavingResult:
+    program: str
+    #: number of maximal schedules explored
+    traces: int = 0
+    #: schedules ending with a blocked thread
+    blocked: int = 0
+    errors: int = 0
+    #: distinct execution graphs among the traces
+    executions: int = 0
+    keys: set = field(default_factory=set)
+    final_states: set = field(default_factory=set)
+    #: total scheduling steps taken (state-space size proxy)
+    steps: int = 0
+
+
+@dataclass
+class _State:
+    """One node of the schedule tree."""
+
+    read_values: list[tuple[Value, ...]]
+    memory: dict[str, Value]
+    #: which write event last wrote each location (for rf tracking)
+    last_writer: dict[str, Event]
+    #: writes per location in the order they hit memory (= co under SC)
+    co: dict[str, list[Event]]
+    #: rf edge per read event
+    rf: dict[Event, Event]
+    #: labels per thread, as executed
+    labels: dict[int, list[Label]]
+
+    def copy(self) -> "_State":
+        return _State(
+            read_values=list(self.read_values),
+            memory=dict(self.memory),
+            last_writer=dict(self.last_writer),
+            co={k: list(v) for k, v in self.co.items()},
+            rf=dict(self.rf),
+            labels={k: list(v) for k, v in self.labels.items()},
+        )
+
+
+def explore_interleavings(
+    program: Program, max_traces: int | None = None
+) -> InterleavingResult:
+    """Enumerate all SC schedules of ``program``."""
+    result = InterleavingResult(program.name)
+    initial = _State(
+        read_values=[() for _ in range(program.num_threads)],
+        memory={},
+        last_writer={},
+        co={},
+        rf={},
+        labels={tid: [] for tid in range(program.num_threads)},
+    )
+    stack = [initial]
+    while stack:
+        state = stack.pop()
+        successors, statuses = _expand(program, state, result)
+        if successors:
+            stack.extend(successors)
+            continue
+        result.traces += 1
+        if any(s is ReplayStatus.ERROR for s in statuses):
+            result.errors += 1
+        elif any(s is ReplayStatus.BLOCKED for s in statuses):
+            result.blocked += 1
+        else:
+            _record(program, state, result)
+        if max_traces is not None and result.traces >= max_traces:
+            break
+    return result
+
+
+def _expand(program: Program, state: _State, result: InterleavingResult):
+    successors: list[_State] = []
+    statuses = []
+    for tid in range(program.num_threads):
+        done = len(state.labels[tid])
+        rep = replay(
+            program.threads[tid],
+            tid,
+            state.read_values[tid],
+            max_events=done + 2,  # enough to cover an atomic RMW pair
+        )
+        statuses.append(rep.status)
+        step = _thread_step(program, state, tid, rep, done)
+        if step is not None:
+            result.steps += 1
+            successors.append(step)
+    return successors, statuses
+
+
+def _thread_step(
+    program: Program, state: _State, tid: int, rep, done: int
+) -> _State | None:
+    """Execute thread ``tid``'s next event (RMWs atomically)."""
+    if len(rep.labels) > done:
+        label = rep.labels[done]
+    elif rep.status is ReplayStatus.NEEDS_VALUE and rep.pending is not None:
+        label = rep.pending
+    else:
+        return None
+    new = state.copy()
+    if isinstance(label, ReadLabel):
+        value = new.memory.get(label.loc, 0)
+        new.read_values[tid] = tuple(new.read_values[tid]) + (value,)
+        ev = Event(tid, done)
+        new.labels[tid].append(label)
+        src = new.last_writer.get(label.loc)
+        if src is not None:
+            new.rf[ev] = src
+        if label.exclusive:
+            # complete the RMW atomically: replay once more to obtain
+            # the exclusive write (if the CAS fired)
+            rep2 = replay(
+                program.threads[tid],
+                tid,
+                new.read_values[tid],
+                max_events=done + 2,
+            )
+            if len(rep2.labels) > done + 1 and isinstance(
+                rep2.labels[done + 1], WriteLabel
+            ):
+                _do_write(new, tid, done + 1, rep2.labels[done + 1])
+        return new
+    if isinstance(label, WriteLabel):
+        _do_write(new, tid, done, label)
+        return new
+    new.labels[tid].append(label)  # fence: no memory effect
+    return new
+
+
+def _do_write(state: _State, tid: int, index: int, label: WriteLabel) -> None:
+    ev = Event(tid, index)
+    state.memory[label.loc] = label.value
+    state.last_writer[label.loc] = ev
+    state.co.setdefault(label.loc, []).append(ev)
+    state.labels[tid].append(label)
+
+
+def _record(program: Program, state: _State, result: InterleavingResult) -> None:
+    graph = ExecutionGraph.from_parts(
+        {tid: list(labels) for tid, labels in state.labels.items()},
+        rf_map={},
+        co_orders=state.co,
+    )
+    for read, src in state.rf.items():
+        graph._rf[read] = src
+    for read in graph.reads():
+        if read not in graph._rf:
+            loc = graph.label(read).location
+            graph._rf[read] = graph.init_write(loc)  # type: ignore[arg-type]
+    key = canonical_key(graph)
+    if key not in result.keys:
+        result.keys.add(key)
+        result.executions += 1
+        result.final_states.add(final_state(graph))

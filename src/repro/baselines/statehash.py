@@ -1,0 +1,116 @@
+"""Stateful model checking under SC: interleaving exploration with
+state hashing.
+
+The fourth classical point in the comparison space: explore schedules
+like :mod:`repro.baselines.interleaving`, but memoise visited *states*
+(shared memory plus per-thread progress) and cut off repeats.  This is
+what SPIN-style explicit-state checkers do; it prunes the diamond
+blow-up that pure stateless enumeration pays, at the cost of memory
+proportional to the state space — exactly the trade stateless model
+checking (and HMC) was invented to avoid.
+
+Note the caveat this baseline demonstrates: state hashing preserves
+*reachable states* (hence assertion checking) but not execution
+counting — different histories that converge to one state are
+deliberately merged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..events import ReadLabel, WriteLabel
+from ..lang import Program, ReplayStatus, replay
+
+
+@dataclass
+class StateHashResult:
+    program: str
+    #: distinct states visited
+    states: int = 0
+    #: scheduler steps taken (edges in the state graph)
+    steps: int = 0
+    #: states where no thread can advance
+    terminal: int = 0
+    errors: int = 0
+    blocked: int = 0
+    #: distinct final memory states
+    final_states: set = field(default_factory=set)
+
+
+def _freeze(memory: dict, logs: tuple, counts: tuple) -> tuple:
+    return (tuple(sorted(memory.items())), logs, counts)
+
+
+def explore_with_state_hashing(program: Program) -> StateHashResult:
+    """Explore all SC-reachable states of ``program`` with memoisation."""
+    result = StateHashResult(program.name)
+    n = program.num_threads
+    initial = ({}, tuple(() for _ in range(n)), tuple(0 for _ in range(n)))
+    seen = {_freeze(*initial)}
+    stack = [initial]
+    result.states = 1
+    while stack:
+        memory, logs, counts = stack.pop()
+        advanced = False
+        statuses = []
+        for tid in range(n):
+            step = _step(program, memory, logs, counts, tid, statuses)
+            if step is None:
+                continue
+            advanced = True
+            result.steps += 1
+            key = _freeze(*step)
+            if key not in seen:
+                seen.add(key)
+                result.states += 1
+                stack.append(step)
+        if not advanced:
+            result.terminal += 1
+            if any(s is ReplayStatus.ERROR for s in statuses):
+                result.errors += 1
+            elif any(s is ReplayStatus.BLOCKED for s in statuses):
+                result.blocked += 1
+            else:
+                result.final_states.add(tuple(sorted(memory.items())))
+    return result
+
+
+def _step(program, memory, logs, counts, tid, statuses):
+    done_events = counts[tid]
+    rep = replay(
+        program.threads[tid], tid, logs[tid], max_events=done_events + 2
+    )
+    statuses.append(rep.status)
+    if len(rep.labels) > done_events:
+        label = rep.labels[done_events]
+    elif rep.status is ReplayStatus.NEEDS_VALUE and rep.pending is not None:
+        label = rep.pending
+    else:
+        return None
+    new_memory = dict(memory)
+    new_logs = list(logs)
+    new_counts = list(counts)
+    new_counts[tid] += 1
+    if isinstance(label, ReadLabel):
+        value = new_memory.get(label.loc, 0)
+        new_logs[tid] = logs[tid] + (value,)
+        if label.exclusive:
+            # the paired exclusive write executes atomically
+            rep2 = replay(
+                program.threads[tid],
+                tid,
+                new_logs[tid],
+                max_events=done_events + 2,
+            )
+            if len(rep2.labels) > done_events + 1 and isinstance(
+                rep2.labels[done_events + 1], WriteLabel
+            ):
+                wlabel = rep2.labels[done_events + 1]
+                new_memory[wlabel.loc] = wlabel.value
+                new_counts[tid] += 1
+    elif isinstance(label, WriteLabel):
+        new_memory[label.loc] = label.value
+    # fences advance the per-thread count only: state hashing merges
+    # histories that reach the same (memory, logs, progress) point
+    return (new_memory, tuple(new_logs), tuple(new_counts))

@@ -1,0 +1,248 @@
+"""Operational TSO/PSO exploration via explicit store buffers.
+
+The Nidhugg-style substrate: each thread owns a store buffer (FIFO
+for TSO, per-location FIFO for PSO); the scheduler interleaves thread
+steps with nondeterministic buffer flushes.  Enumerating all such
+schedules yields the reference semantics of TSO/PSO — and a state
+space *larger* than SC interleavings, which is why the paper contrasts
+operational tools against HMC's execution-graph counts.
+
+The set of reachable execution graphs is cross-checked against the
+axiomatic TSO/PSO models in the test suite: a genuinely two-sided
+validation (operational vs axiomatic vs HMC's exploration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..events import Event, Label, ReadLabel, Value, WriteLabel
+from ..graphs import ExecutionGraph, canonical_key, final_state
+from ..lang import Program, ReplayStatus, replay
+
+
+@dataclass
+class StoreBufferResult:
+    program: str
+    memory_model: str = "tso"
+    traces: int = 0
+    blocked: int = 0
+    errors: int = 0
+    executions: int = 0
+    keys: set = field(default_factory=set)
+    final_states: set = field(default_factory=set)
+    steps: int = 0
+
+
+@dataclass
+class _BufState:
+    read_values: list[tuple[Value, ...]]
+    memory: dict[str, Value]
+    last_writer: dict[str, Event]
+    co: dict[str, list[Event]]
+    rf: dict[Event, Event]
+    labels: dict[int, list[Label]]
+    #: per-thread pending stores: list of (loc, value, event)
+    buffers: dict[int, list[tuple[str, Value, Event]]]
+
+    def copy(self) -> "_BufState":
+        return _BufState(
+            read_values=list(self.read_values),
+            memory=dict(self.memory),
+            last_writer=dict(self.last_writer),
+            co={k: list(v) for k, v in self.co.items()},
+            rf=dict(self.rf),
+            labels={k: list(v) for k, v in self.labels.items()},
+            buffers={k: list(v) for k, v in self.buffers.items()},
+        )
+
+    def freeze(self) -> tuple:
+        return (
+            tuple(map(tuple, self.read_values)),
+            tuple(sorted(self.memory.items())),
+            tuple(
+                (t, tuple(b)) for t, b in sorted(self.buffers.items()) if b
+            ),
+        )
+
+
+def explore_store_buffers(
+    program: Program,
+    model: str = "tso",
+    max_traces: int | None = None,
+) -> StoreBufferResult:
+    """Enumerate all schedules of ``program`` over store-buffer
+    machines (``model`` is ``"tso"`` or ``"pso"``)."""
+    if model not in ("tso", "pso"):
+        raise ValueError("store-buffer semantics exist for tso/pso only")
+    result = StoreBufferResult(program.name, memory_model=model)
+    initial = _BufState(
+        read_values=[() for _ in range(program.num_threads)],
+        memory={},
+        last_writer={},
+        co={},
+        rf={},
+        labels={tid: [] for tid in range(program.num_threads)},
+        buffers={tid: [] for tid in range(program.num_threads)},
+    )
+    stack = [initial]
+    while stack:
+        state = stack.pop()
+        successors, statuses = _expand(program, state, model, result)
+        if successors:
+            stack.extend(successors)
+            continue
+        result.traces += 1
+        if any(s is ReplayStatus.ERROR for s in statuses):
+            result.errors += 1
+        elif any(s is ReplayStatus.BLOCKED for s in statuses) or any(
+            state.buffers.values()
+        ):
+            result.blocked += 1
+        else:
+            _record(program, state, result)
+        if max_traces is not None and result.traces >= max_traces:
+            break
+    return result
+
+
+def _flush_candidates(state: _BufState, model: str, tid: int) -> list[int]:
+    """Indices in the buffer that may flush next: the head for TSO,
+    one head per location for PSO."""
+    buffer = state.buffers[tid]
+    if not buffer:
+        return []
+    if model == "tso":
+        return [0]
+    seen: set[str] = set()
+    heads = []
+    for i, (loc, _v, _e) in enumerate(buffer):
+        if loc not in seen:
+            seen.add(loc)
+            heads.append(i)
+    return heads
+
+
+def _expand(program: Program, state: _BufState, model: str, result):
+    successors: list[_BufState] = []
+    statuses = []
+    for tid in range(program.num_threads):
+        # flush steps
+        for idx in _flush_candidates(state, model, tid):
+            new = state.copy()
+            loc, value, ev = new.buffers[tid].pop(idx)
+            new.memory[loc] = value
+            new.last_writer[loc] = ev
+            new.co.setdefault(loc, []).append(ev)
+            result.steps += 1
+            successors.append(new)
+        # instruction step
+        done = len(state.labels[tid])
+        rep = replay(
+            program.threads[tid],
+            tid,
+            state.read_values[tid],
+            max_events=done + 2,
+        )
+        statuses.append(rep.status)
+        new = _instruction_step(program, state, tid, rep, done, model)
+        if new is not None:
+            result.steps += 1
+            successors.append(new)
+    return successors, statuses
+
+
+def _buffered_value(state: _BufState, tid: int, loc: str) -> tuple[Value, Event] | None:
+    """The newest buffered store to ``loc`` by ``tid``, if any."""
+    for bloc, value, ev in reversed(state.buffers[tid]):
+        if bloc == loc:
+            return value, ev
+    return None
+
+
+def _instruction_step(
+    program: Program, state: _BufState, tid: int, rep, done: int, model: str
+) -> "_BufState | None":
+    if len(rep.labels) > done:
+        label = rep.labels[done]
+    elif rep.status is ReplayStatus.NEEDS_VALUE and rep.pending is not None:
+        label = rep.pending
+    else:
+        return None
+
+    if isinstance(label, ReadLabel):
+        if label.exclusive:
+            # RMWs flush the buffer first (locked instruction)
+            if state.buffers[tid]:
+                return None
+            new = state.copy()
+            value = new.memory.get(label.loc, 0)
+            ev = Event(tid, done)
+            new.read_values[tid] = tuple(new.read_values[tid]) + (value,)
+            new.labels[tid].append(label)
+            src = new.last_writer.get(label.loc)
+            if src is not None:
+                new.rf[ev] = src
+            rep2 = replay(
+                program.threads[tid],
+                tid,
+                new.read_values[tid],
+                max_events=done + 2,
+            )
+            if len(rep2.labels) > done + 1 and isinstance(
+                rep2.labels[done + 1], WriteLabel
+            ):
+                wlabel = rep2.labels[done + 1]
+                wev = Event(tid, done + 1)
+                new.memory[wlabel.loc] = wlabel.value
+                new.last_writer[wlabel.loc] = wev
+                new.co.setdefault(wlabel.loc, []).append(wev)
+                new.labels[tid].append(wlabel)
+            return new
+        new = state.copy()
+        forwarded = _buffered_value(new, tid, label.loc)
+        if forwarded is not None:
+            value, src = forwarded
+        else:
+            value = new.memory.get(label.loc, 0)
+            src = new.last_writer.get(label.loc)
+        ev = Event(tid, done)
+        new.read_values[tid] = tuple(new.read_values[tid]) + (value,)
+        new.labels[tid].append(label)
+        if src is not None:
+            new.rf[ev] = src
+        return new
+
+    if isinstance(label, WriteLabel):
+        new = state.copy()
+        new.buffers[tid].append((label.loc, label.value, Event(tid, done)))
+        new.labels[tid].append(label)
+        return new
+
+    # fence: executable only with an empty buffer (full fences); weaker
+    # fences are approximated the same way, erring towards fewer
+    # behaviours for the operational baseline
+    if state.buffers[tid]:
+        return None
+    new = state.copy()
+    new.labels[tid].append(label)
+    return new
+
+
+def _record(program: Program, state: _BufState, result: StoreBufferResult) -> None:
+    graph = ExecutionGraph.from_parts(
+        {tid: list(labels) for tid, labels in state.labels.items()},
+        rf_map={},
+        co_orders=state.co,
+    )
+    for read, src in state.rf.items():
+        graph._rf[read] = src
+    for read in graph.reads():
+        if read not in graph._rf:
+            loc = graph.label(read).location
+            graph._rf[read] = graph.init_write(loc)  # type: ignore[arg-type]
+    key = canonical_key(graph)
+    if key not in result.keys:
+        result.keys.add(key)
+        result.executions += 1
+        result.final_states.add(final_state(graph))

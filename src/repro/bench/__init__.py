@@ -1,0 +1,28 @@
+"""Benchmark workloads, harness, and experiment (table/figure) drivers."""
+
+from . import workloads
+from .harness import (
+    Row,
+    print_table,
+    run_brute_force,
+    run_dpor,
+    run_hmc,
+    run_interleaving,
+    run_store_buffer,
+)
+from .plots import f1_figure, render_series
+from .tables import ALL_EXPERIMENTS
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "f1_figure",
+    "render_series",
+    "Row",
+    "print_table",
+    "run_brute_force",
+    "run_dpor",
+    "run_hmc",
+    "run_interleaving",
+    "run_store_buffer",
+    "workloads",
+]

@@ -1,0 +1,132 @@
+"""Lock-free and locked data-structure workloads.
+
+Bounded, array-backed encodings of the classic concurrent structures
+the SMC literature verifies: a Treiber stack, a bounded MPMC queue, an
+exchange-based spinlock and a reader/writer lock.  Each comes with the
+safety assertions that make verification meaningful (no lost or
+duplicated elements, mutual exclusion, reader consistency).
+
+Memory layout conventions: a "pointer" is an integer index into a
+named array, 0 meaning null; element payloads live in `val[i]`.
+"""
+
+from __future__ import annotations
+
+from ..events import MemOrder
+from ..lang import Program, ProgramBuilder
+
+
+def treiber_stack(pushers: int = 2, poppers: int = 1, order: MemOrder = MemOrder.ACQ_REL) -> Program:
+    """Treiber stack: CAS-on-top push/pop.
+
+    Each pusher owns node ``i+1`` and pushes it once (single CAS
+    attempt; contention shows up as blocked executions, as in the
+    tools' single-iteration unrollings).  Each popper pops at most
+    once and asserts it never observes a node whose payload was not
+    yet written — the property that fails if push's CAS is not a
+    release or pop's read not an acquire.
+    """
+    p = ProgramBuilder(f"treiber({pushers},{poppers})")
+    for i in range(pushers):
+        node = i + 1
+        t = p.thread()
+        top = t.load("top", order)
+        t.store(("nxt", node), top)           # node.next := top
+        t.store(("val", node), 10 + node)     # payload
+        ok = t.cas("top", top, node, order)
+        t.assume(ok.eq(1))                    # single attempt
+    for _ in range(poppers):
+        t = p.thread()
+        top = t.load("top", order)
+        t.if_(
+            top.ne(0),
+            lambda b, top=top: _pop_body(b, top, order),
+        )
+    return p.build()
+
+
+def _pop_body(b, top, order) -> None:
+    nxt = b.load(("nxt", top))
+    ok = b.cas("top", top, nxt, order)
+    b.assume(ok.eq(1))
+    payload = b.load(("val", top))
+    b.assert_(payload.eq(top + 10), "popped a node before its payload was written")
+
+
+def mp_queue(producers: int = 1, consumers: int = 1, capacity: int = 2,
+             order: MemOrder = MemOrder.ACQ_REL) -> Program:
+    """A bounded MPMC queue over an array with FAI-allocated slots.
+
+    Producers claim a slot with FAI(head) and publish data then a
+    ready flag; consumers claim with FAI(tail), await readiness and
+    assert the data matches the slot — lost updates or reordered
+    publication fail the assertion.
+    """
+    p = ProgramBuilder(f"mpq({producers},{consumers})")
+    for i in range(producers):
+        t = p.thread()
+        slot = t.fai("head", 1, order)
+        t.assume(slot.lt(capacity))
+        t.store(("data", slot), slot + 100)
+        t.store(("ready", slot), 1, MemOrder.REL)
+    for _ in range(consumers):
+        t = p.thread()
+        slot = t.fai("tail", 1, order)
+        t.assume(slot.lt(capacity))
+        flag = t.load(("ready", slot), MemOrder.ACQ)
+        t.assume(flag.eq(1))
+        data = t.load(("data", slot))
+        t.assert_(data.eq(slot + 100), "queue slot read before publication")
+    return p.build()
+
+
+def xchg_spinlock(n: int = 2, order: MemOrder = MemOrder.ACQ_REL) -> Program:
+    """A spinlock taken with atomic exchange (single attempt, spin
+    abstracted by assume), plus the usual ownership assertion."""
+    p = ProgramBuilder(f"xchg-lock({n})")
+    for i in range(n):
+        t = p.thread()
+        old = t.xchg("lock", 1, order)
+        t.assume(old.eq(0))
+        t.store("owner", i + 1)
+        seen = t.load("owner")
+        t.assert_(seen.eq(i + 1), "mutual exclusion violated")
+        t.store("lock", 0, MemOrder.REL if order != MemOrder.RLX else order)
+    return p.build()
+
+
+def rw_lock(readers: int = 1, writers: int = 1, order: MemOrder = MemOrder.ACQ_REL) -> Program:
+    """A reader/writer lock over a readers counter and a writer flag.
+
+    Writers CAS the flag, then write two cells; readers register in
+    the counter, check no writer is active, and assert they see a
+    consistent snapshot of the two cells.
+    """
+    p = ProgramBuilder(f"rwlock({readers},{writers})")
+    for w in range(writers):
+        t = p.thread()
+        ok = t.cas("wflag", 0, 1, order)
+        t.assume(ok.eq(1))
+        r = t.load("rcount", order)
+        t.assume(r.eq(0))  # wait until no readers
+        t.store("c1", w + 1, order)
+        t.store("c2", w + 1, order)
+        t.store("wflag", 0, order)
+    for _ in range(readers):
+        t = p.thread()
+        t.fai("rcount", 1, order)
+        flag = t.load("wflag", order)
+        t.assume(flag.eq(0))
+        a = t.load("c1", order)
+        b = t.load("c2", order)
+        t.assert_(a.eq(b), "torn read under rwlock")
+        t.fai("rcount", -1, order)
+    return p.build()
+
+
+DATA_STRUCTURES = {
+    "treiber": treiber_stack,
+    "mpq": mp_queue,
+    "xchg-lock": xchg_spinlock,
+    "rwlock": rw_lock,
+}

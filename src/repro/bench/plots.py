@@ -1,0 +1,92 @@
+"""ASCII rendering of the scaling figures.
+
+The evaluation's figures are series of (n, count) points per tool;
+:func:`render_series` draws them as a log-scale ASCII chart so the
+"curve leaves the page" shape is visible directly in terminal output
+and in EXPERIMENTS.md, with no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: a named series: {label: [(x, y), ...]}
+Series = dict[str, list[tuple[int, float]]]
+
+_MARKS = "ox+*#@%&"
+
+
+def render_series(
+    series: Series,
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    ylabel: str = "count (log scale)",
+) -> str:
+    """Draw the series on a shared log-y ASCII canvas."""
+    points = [
+        (x, y) for pts in series.values() for x, y in pts if y > 0
+    ]
+    if not points:
+        return f"{title}: (no data)"
+    xs = sorted({x for x, _ in points})
+    ymax = max(y for _, y in points)
+    ymin = min(y for _, y in points)
+    log_min = math.floor(math.log10(max(ymin, 1)))
+    log_max = math.ceil(math.log10(ymax)) or 1
+    span = max(log_max - log_min, 1)
+
+    def row_of(y: float) -> int:
+        frac = (math.log10(max(y, 1)) - log_min) / span
+        return min(height - 1, max(0, round(frac * (height - 1))))
+
+    def col_of(x: int) -> int:
+        if len(xs) == 1:
+            return 0
+        frac = (xs.index(x)) / (len(xs) - 1)
+        return min(width - 1, round(frac * (width - 1)))
+
+    canvas = [[" "] * width for _ in range(height)]
+    legend = []
+    for mark, (label, pts) in zip(_MARKS, sorted(series.items())):
+        legend.append(f"{mark} = {label}")
+        for x, y in pts:
+            if y <= 0:
+                continue
+            canvas[height - 1 - row_of(y)][col_of(x)] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(canvas):
+        level = log_max - round(i * span / (height - 1))
+        prefix = f"10^{level:<2d} |" if i % 4 == 0 else "      |"
+        lines.append(prefix + "".join(row))
+    lines.append("      +" + "-" * width)
+    axis = " " * (7 + width)
+    for x in xs:
+        pos = col_of(x)
+        axis = axis[: 7 + pos] + str(x) + axis[7 + pos + len(str(x)):]
+    lines.append(axis + "   n")
+    lines.append("      " + "   ".join(legend))
+    lines.append(f"      y: {ylabel}")
+    return "\n".join(lines)
+
+
+def f1_figure(rows) -> str:
+    """Render experiment F1's rows as the scaling figure."""
+    series: Series = {}
+    for row in rows:
+        if not row.bench.startswith("sb("):
+            continue
+        n = int(row.bench[3:-1])
+        if row.tool == "hmc":
+            label = f"hmc ({row.model})"
+            value = float(row.executions)
+        else:
+            label = row.tool
+            value = float(row.extra.get("traces", row.executions))
+        series.setdefault(label, []).append((n, value))
+    return render_series(
+        series, title="F1: store-buffering family, states explored vs n"
+    )

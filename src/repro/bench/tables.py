@@ -1,0 +1,253 @@
+"""Experiment definitions: one function per table/figure in DESIGN.md.
+
+Every function returns the rows it printed, so benchmarks and tests
+can assert on the regenerated numbers.  EXPERIMENTS.md records a full
+run of these.
+"""
+
+from __future__ import annotations
+
+from ..litmus import MODELS, all_litmus_tests, allowed, run_litmus
+from . import workloads as W
+from .harness import (
+    Row,
+    print_table,
+    run_brute_force,
+    run_dpor,
+    run_hmc,
+    run_interleaving,
+    run_store_buffer,
+)
+
+#: a compact model set used by the wide sweeps
+SWEEP_MODELS = ("sc", "tso", "ra", "imm", "armv8", "power")
+
+
+def t1_litmus_matrix(models=MODELS) -> list[tuple[str, str, bool, bool, int]]:
+    """T1: per-litmus verdicts across models vs the literature."""
+    rows = []
+    print("\n== T1: litmus verdicts (observed vs literature) ==")
+    for test in all_litmus_tests():
+        for model in models:
+            verdict = run_litmus(test, model)
+            expected = allowed(test.name, model)
+            rows.append(
+                (test.name, model, verdict.observed, expected, verdict.executions)
+            )
+            mark = "ok" if verdict.observed == expected else "DEVIATES"
+            print(
+                f"{test.name:16s} {model:9s} "
+                f"{'allowed  ' if verdict.observed else 'forbidden'} "
+                f"(lit: {'allowed' if expected else 'forbidden'}) "
+                f"execs={verdict.executions:<4d} {mark}"
+            )
+    return rows
+
+
+def t2_vs_bruteforce(models=("sc", "tso", "imm", "power")) -> list[Row]:
+    """T2: HMC vs herd-style brute force on the litmus corpus."""
+    rows: list[Row] = []
+    for test in all_litmus_tests():
+        for model in models:
+            rows.append(run_hmc(test.program, model))
+            rows.append(run_brute_force(test.program, model))
+    return print_table("T2: HMC vs axiomatic brute force", rows)
+
+
+def run_state_hash(program) -> Row:
+    """Row adapter for the SPIN-style stateful baseline."""
+    import time
+
+    from ..baselines import explore_with_state_hashing
+
+    start = time.perf_counter()
+    result = explore_with_state_hashing(program)
+    return Row(
+        bench=program.name,
+        model="sc",
+        tool="state-hash",
+        executions=len(result.final_states),
+        blocked=result.blocked,
+        errors=result.errors,
+        time=time.perf_counter() - start,
+        extra={"states": result.states},
+    )
+
+
+def t3_vs_operational(sizes=(2, 3)) -> list[Row]:
+    """T3: HMC vs interleaving/DPOR/store-buffer/state-hash enumeration."""
+    rows: list[Row] = []
+    for n in sizes:
+        for program in (W.sb_n(n), W.ainc(n), W.readers(n)):
+            rows.append(run_hmc(program, "sc"))
+            rows.append(run_interleaving(program))
+            rows.append(run_dpor(program))
+            rows.append(run_state_hash(program))
+            rows.append(run_hmc(program, "tso", tool_name="hmc"))
+            rows.append(run_store_buffer(program, "tso"))
+            rows.append(run_hmc(program, "pso", tool_name="hmc"))
+            rows.append(run_store_buffer(program, "pso"))
+    return print_table("T3: HMC vs operational baselines", rows)
+
+
+def t4_synthetic(models=("tso", "imm")) -> list[Row]:
+    """T4: the synthetic suite under hardware models."""
+    programs = [
+        W.ainc(3),
+        W.ninc(3),
+        W.casrot(3),
+        W.fib_bench(2),
+        W.lastzero(2),
+        W.indexer(2),
+        W.readers(3),
+    ]
+    rows = [run_hmc(p, m) for p in programs for m in models]
+    return print_table("T4: synthetic suite", rows)
+
+
+def t5_locks(models=("sc", "tso", "imm")) -> list[Row]:
+    """T5: lock/synchronisation verification per model."""
+    programs = [
+        W.ticket_lock(2),
+        W.ticket_lock(3),
+        W.ttas_lock(2),
+        W.ttas_lock(3),
+        W.seqlock(1, 1),
+        W.peterson(False),
+        W.peterson(True),
+        W.dekker(False),
+        W.dekker(True),
+        W.barrier(2),
+    ]
+    rows = [run_hmc(p, m) for p in programs for m in models]
+    return print_table("T5: locks and synchronisation", rows)
+
+
+def f1_scaling(max_n=4, trace_budget=100_000) -> list[Row]:
+    """F1: executions/time vs N for HMC and the baselines.
+
+    The operational baselines get a trace budget: hitting it is the
+    figure's message (their curves leave the page while HMC's follows
+    the execution count).
+    """
+    rows: list[Row] = []
+    for n in range(2, max_n + 1):
+        program = W.sb_n(n)
+        rows.append(run_hmc(program, "sc"))
+        rows.append(run_hmc(program, "tso"))
+        rows.append(run_interleaving(program, max_traces=trace_budget))
+        rows.append(
+            run_store_buffer(program, "tso", max_traces=trace_budget)
+        )
+    for n in range(2, max_n + 1):
+        rows.append(run_hmc(W.ainc(n), "imm"))
+        rows.append(run_interleaving(W.ainc(n), max_traces=trace_budget))
+    return print_table("F1: scaling with N", rows)
+
+
+def f2_model_comparison(n=3) -> list[Row]:
+    """F2: the same programs across progressively weaker models."""
+    rows: list[Row] = []
+    for program in (W.sb_n(n), W.mp_chain(2), W.casrot(n)):
+        for model in ("sc", "tso", "pso", "ra", "rc11", "imm", "armv8", "power", "coherence"):
+            rows.append(run_hmc(program, model))
+    return print_table("F2: model comparison (weaker ⊇ stronger)", rows)
+
+
+def f3_load_buffering() -> list[Row]:
+    """F3: LB outcomes exist only under hardware models, and only with
+    dependency-prefix revisits."""
+    from ..lang import ProgramBuilder
+
+    def lb_chain(n: int):
+        p = ProgramBuilder(f"lb-chain({n})")
+        regs = []
+        for i in range(n):
+            t = p.thread()
+            regs.append(t.load(f"x{i}"))
+            t.store(f"x{(i + 1) % n}", 1)
+        p.observe(*regs)
+        return p.build()
+
+    rows: list[Row] = []
+    for n in (2, 3):
+        program = lb_chain(n)
+        for model in ("rc11", "imm", "armv8", "power"):
+            rows.append(run_hmc(program, model))
+        rows.append(
+            run_hmc(
+                program,
+                "imm",
+                tool_name="hmc-no-revisit",
+                backward_revisits=False,
+            )
+        )
+    return print_table("F3: load-buffering capability", rows)
+
+
+def a1_ablation_revisits() -> list[Row]:
+    """A1: turning off backward revisits (incomplete) and the
+    maximality check (duplicate blowup)."""
+    rows: list[Row] = []
+    for program in (W.sb_n(2), W.sb_n(3), W.ainc(3)):
+        rows.append(run_hmc(program, "tso", tool_name="hmc"))
+        rows.append(
+            run_hmc(
+                program, "tso", tool_name="no-revisits", backward_revisits=False
+            )
+        )
+        rows.append(
+            run_hmc(
+                program, "tso", tool_name="no-maximality", maximality_check=False
+            )
+        )
+    return print_table("A1: revisit ablations", rows)
+
+
+def a2_ablation_incremental() -> list[Row]:
+    """A2: incremental consistency checking off — same counts, more
+    wasted exploration."""
+    rows: list[Row] = []
+    for program in (W.ainc(3), W.casrot(3), W.sb_n(3)):
+        rows.append(run_hmc(program, "imm", tool_name="hmc"))
+        rows.append(
+            run_hmc(
+                program,
+                "imm",
+                tool_name="no-incremental",
+                incremental_checks=False,
+            )
+        )
+    return print_table("A2: incremental-check ablation", rows)
+
+
+def t6_datastructures(models=("sc", "tso", "imm", "armv8", "power")) -> list[Row]:
+    """T6: lock-free data structures across models (extension suite)."""
+    from .datastructures import mp_queue, rw_lock, treiber_stack, xchg_spinlock
+    from ..events import MemOrder
+
+    programs = [
+        treiber_stack(2, 1),
+        treiber_stack(2, 1, MemOrder.RLX),
+        mp_queue(1, 1),
+        xchg_spinlock(2),
+        xchg_spinlock(2, MemOrder.RLX),
+        rw_lock(1, 1),
+    ]
+    rows = [run_hmc(p, m) for p in programs for m in models]
+    return print_table("T6: data structures", rows)
+
+
+ALL_EXPERIMENTS = {
+    "t1": t1_litmus_matrix,
+    "t2": t2_vs_bruteforce,
+    "t3": t3_vs_operational,
+    "t4": t4_synthetic,
+    "t5": t5_locks,
+    "f1": f1_scaling,
+    "f2": f2_model_comparison,
+    "f3": f3_load_buffering,
+    "a1": a1_ablation_revisits,
+    "a2": a2_ablation_incremental,
+    "t6": t6_datastructures,
+}

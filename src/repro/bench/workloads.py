@@ -1,0 +1,283 @@
+"""Parametric benchmark programs.
+
+The synthetic workloads the stateless-model-checking literature
+evaluates on (GenMC/HMC/Nidhugg/RCMC suites): store-buffering and
+message-passing families, shared counters (ainc), CAS rotation
+(casrot), fib-style data races, lastzero, the indexer hash table,
+readers/writer — plus the lock and synchronisation workloads the
+papers verify (ticket lock, TTAS, seqlock, Peterson, Dekker, barrier).
+
+Every generator returns a :class:`~repro.lang.Program`; all are
+verified (tests) and benchmarked (benchmarks/) against multiple
+models and baselines.
+"""
+
+from __future__ import annotations
+
+from ..events import FenceKind, MemOrder
+from ..lang import Program, ProgramBuilder
+
+
+def sb_n(n: int) -> Program:
+    """n-thread store buffering: thread i writes x_i, reads x_{i+1}."""
+    p = ProgramBuilder(f"sb({n})")
+    regs = []
+    for i in range(n):
+        t = p.thread()
+        t.store(f"x{i}", 1)
+        regs.append(t.load(f"x{(i + 1) % n}"))
+    p.observe(*regs)
+    return p.build()
+
+
+def mp_chain(n: int) -> Program:
+    """A chain of n message passes: stage i awaits flag i, writes flag i+1."""
+    p = ProgramBuilder(f"mp-chain({n})")
+    t0 = p.thread()
+    t0.store("data", 42)
+    t0.store("flag0", 1)
+    for i in range(n):
+        t = p.thread()
+        t.await_eq(f"flag{i}", 1)
+        t.store(f"flag{i + 1}", 1)
+    last = p.thread()
+    last.await_eq(f"flag{n}", 1)
+    d = last.load("data")
+    p.observe(d)
+    return p.build()
+
+
+def ainc(n: int) -> Program:
+    """n threads atomically increment a counter (GenMC's ainc)."""
+    p = ProgramBuilder(f"ainc({n})")
+    for _ in range(n):
+        t = p.thread()
+        t.fai("c", 1)
+    checker = p.thread()
+    v = checker.load("c")
+    p.observe(v)
+    return p.build()
+
+
+def ninc(n: int) -> Program:
+    """n threads *non-atomically* increment: load, add, store — the
+    classic lost-update race, used for error finding."""
+    p = ProgramBuilder(f"ninc({n})")
+    for _ in range(n):
+        t = p.thread()
+        v = t.load("c")
+        t.store("c", v + 1)
+    return p.build()
+
+
+def casrot(n: int) -> Program:
+    """n threads try to rotate a cell i -> i+1 with CAS (casrot)."""
+    p = ProgramBuilder(f"casrot({n})")
+    regs = []
+    for i in range(n):
+        t = p.thread()
+        regs.append(t.cas("x", i, i + 1))
+    p.observe(*regs)
+    return p.build()
+
+
+def fib_bench(n: int) -> Program:
+    """Two threads interleave n rounds of x = x + y / y = x + y
+    (the fib_bench data-race workload)."""
+    p = ProgramBuilder(f"fib({n})")
+    t1 = p.thread()
+    t1.repeat(n, lambda b: b.store("x", b.load("x") + b.load("y")))
+    t2 = p.thread()
+    t2.repeat(n, lambda b: b.store("y", b.load("x") + b.load("y")))
+    return p.build()
+
+
+def lastzero(n: int) -> Program:
+    """Threads i=1..n write array[i] = array[i-1] + 1; a reader scans
+    for the last zero (the lastzero workload)."""
+    p = ProgramBuilder(f"lastzero({n})")
+    reader = p.thread()
+    regs = []
+    for i in range(n + 1):
+        regs.append(reader.load(("a", i)))
+    p.observe(*regs)
+    for i in range(1, n + 1):
+        t = p.thread()
+        prev = t.load(("a", i - 1))
+        t.store(("a", i), prev + 1)
+    return p.build()
+
+
+def indexer(n: int, slots: int = 3) -> Program:
+    """Threads CAS-insert into a small hash table, probing linearly
+    (the classic indexer benchmark, shrunk to ``slots`` buckets)."""
+    p = ProgramBuilder(f"indexer({n})")
+    for i in range(n):
+        t = p.thread()
+        value = i + 1
+        start = 0  # all threads hash to the same bucket: full contention
+
+        def probe(b, depth: int, slot: int) -> None:
+            ok = b.cas(("tab", slot), 0, value)
+            if depth + 1 < slots:
+                nxt = (slot + 1) % slots
+                b.if_(ok.eq(0), lambda bb: probe(bb, depth + 1, nxt))
+
+        probe(t, 0, start)
+    return p.build()
+
+
+def readers(n: int) -> Program:
+    """One writer, n readers of the same location."""
+    p = ProgramBuilder(f"readers({n})")
+    w = p.thread()
+    w.store("x", 1)
+    regs = []
+    for _ in range(n):
+        t = p.thread()
+        regs.append(t.load("x"))
+    p.observe(*regs)
+    return p.build()
+
+
+# ---------------------------------------------------------------------------
+# locks and synchronisation
+
+
+def ticket_lock(n: int, order: MemOrder = MemOrder.RLX) -> Program:
+    """n threads acquire a ticket lock once and assert mutual
+    exclusion inside the critical section."""
+    p = ProgramBuilder(f"ticket-lock({n})")
+    for i in range(n):
+        t = p.thread()
+        ticket = t.fai("next", 1, order)
+        serving = t.load("serving", order)
+        t.assume(serving.eq(ticket))
+        t.store("owner", i + 1)
+        seen = t.load("owner")
+        t.assert_(seen.eq(i + 1), "mutual exclusion violated")
+        t.store("serving", ticket + 1, order)
+    return p.build()
+
+
+def ttas_lock(n: int, order: MemOrder = MemOrder.RLX) -> Program:
+    """n threads take a test-and-set lock once (spin abstracted by
+    assume, as in the SMC tools)."""
+    p = ProgramBuilder(f"ttas-lock({n})")
+    for i in range(n):
+        t = p.thread()
+        ok = t.cas("lock", 0, 1, order)
+        t.assume(ok.eq(1))
+        t.store("owner", i + 1)
+        seen = t.load("owner")
+        t.assert_(seen.eq(i + 1), "mutual exclusion violated")
+        t.store("lock", 0, order)
+    return p.build()
+
+
+def seqlock(readers_count: int = 1, writers_count: int = 1) -> Program:
+    """A sequence lock: writers bump the sequence number around their
+    updates; readers retry (assume) until they observe a stable even
+    sequence, then assert they saw a consistent snapshot."""
+    p = ProgramBuilder(f"seqlock({readers_count},{writers_count})")
+    for w in range(writers_count):
+        t = p.thread()
+        s = t.fai("seq", 1, MemOrder.ACQ_REL)
+        t.assume((s % 2).eq(0))  # writers exclude each other
+        t.store("d1", w + 1, MemOrder.REL)
+        t.store("d2", w + 1, MemOrder.REL)
+        t.fai("seq", 1, MemOrder.ACQ_REL)
+    for _ in range(readers_count):
+        t = p.thread()
+        s1 = t.load("seq", MemOrder.ACQ)
+        d1 = t.load("d1", MemOrder.ACQ)
+        d2 = t.load("d2", MemOrder.ACQ)
+        s2 = t.load("seq", MemOrder.ACQ)
+        t.assume(s1.eq(s2).and_((s1 % 2).eq(0)))
+        t.assert_(d1.eq(d2), "torn seqlock read")
+    return p.build()
+
+
+def peterson(fenced: bool = False) -> Program:
+    """Peterson's mutual exclusion for two threads.  Correct under SC;
+    broken under TSO and weaker unless the store-load fence is added
+    (``fenced``) — the canonical fence-placement verification demo."""
+    p = ProgramBuilder(f"peterson({'fenced' if fenced else 'plain'})")
+    for i in (0, 1):
+        j = 1 - i
+        t = p.thread()
+        t.store(f"flag{i}", 1)
+        t.store("turn", j)
+        if fenced:
+            t.fence(FenceKind.MFENCE)
+        other = t.load(f"flag{j}")
+        turn = t.load("turn")
+        t.assume(other.eq(0).or_(turn.eq(i)))
+        t.store("owner", i + 1)
+        seen = t.load("owner")
+        t.assert_(seen.eq(i + 1), "mutual exclusion violated")
+        t.store(f"flag{i}", 0)
+    return p.build()
+
+
+def dekker(fenced: bool = False) -> Program:
+    """The Dekker/SB-style entry protocol: each thread enters only if
+    it sees the other's flag down.  Under SC at most one enters; under
+    TSO both can, unless fenced."""
+    p = ProgramBuilder(f"dekker({'fenced' if fenced else 'plain'})")
+    for i in (0, 1):
+        j = 1 - i
+        t = p.thread()
+        t.store(f"flag{i}", 1)
+        if fenced:
+            t.fence(FenceKind.MFENCE)
+        other = t.load(f"flag{j}")
+        t.if_(
+            other.eq(0),
+            lambda b, i=i: (
+                b.store("owner", i + 1),
+                b.assert_(b.load("owner").eq(i + 1), "both entered"),
+            )
+            and None,
+        )
+    return p.build()
+
+
+def barrier(n: int, order: MemOrder = MemOrder.ACQ_REL) -> Program:
+    """A sense-less counter barrier: every thread publishes x_i, joins
+    the barrier, then asserts it sees every other thread's value."""
+    p = ProgramBuilder(f"barrier({n})")
+    for i in range(n):
+        t = p.thread()
+        t.store(f"x{i}", 1, MemOrder.REL)
+        t.fai("count", 1, order)
+        got = t.load("count", MemOrder.ACQ)
+        t.assume(got.eq(n))
+        for j in range(n):
+            if j != i:
+                v = t.load(f"x{j}", MemOrder.ACQ)
+                t.assert_(v.eq(1), "barrier did not synchronise")
+    return p.build()
+
+
+#: every workload family, for sweep-style experiments and the CLI;
+#: entries take the size parameter n (ignored where it is not natural)
+FAMILIES = {
+    "sb": sb_n,
+    "mp-chain": mp_chain,
+    "ainc": ainc,
+    "ninc": ninc,
+    "casrot": casrot,
+    "fib": fib_bench,
+    "lastzero": lastzero,
+    "indexer": indexer,
+    "readers": readers,
+    "ticket-lock": ticket_lock,
+    "ttas-lock": ttas_lock,
+    "seqlock": lambda n: seqlock(max(1, n - 1), 1),
+    "barrier": barrier,
+    "peterson": lambda n: peterson(False),
+    "peterson-fenced": lambda n: peterson(True),
+    "dekker": lambda n: dekker(False),
+    "dekker-fenced": lambda n: dekker(True),
+}

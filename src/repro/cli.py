@@ -1,0 +1,250 @@
+"""Command-line interface.
+
+::
+
+    hmc litmus SB --model tso            # run one litmus test
+    hmc litmus --all --model imm         # the whole corpus
+    hmc litmus-file my.litmus --model power   # parse and run a file
+    hmc bench sb --n 3 --model tso       # run a workload family
+    hmc verify ticket-lock --model imm   # check assertions, show witness
+    hmc compare sb --left sc --right tso # diff two models' behaviours
+    hmc repair dekker --model tso        # synthesise missing fences
+    hmc experiment t3                    # regenerate a table/figure
+    hmc models                           # list memory models
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench import ALL_EXPERIMENTS, run_hmc, workloads
+from .bench.datastructures import DATA_STRUCTURES
+from .core import ExplorationOptions, Explorer
+from .core.compare import compare_models
+from .core.repair import synthesize_fences
+from .events import FenceKind
+from .litmus import allowed, get_litmus, litmus_names, run_litmus
+from .litmus.parser import parse_litmus
+from .models import get_model, model_names
+
+
+def _find_program(family: str, n: int):
+    factory = workloads.FAMILIES.get(family)
+    if factory is not None:
+        return factory(n)
+    factory = DATA_STRUCTURES.get(family)
+    if factory is not None:
+        return factory(n)
+    return None
+
+
+def _unknown_family(family: str) -> str:
+    known = ", ".join(sorted(list(workloads.FAMILIES) + list(DATA_STRUCTURES)))
+    return f"unknown family {family!r}; known: {known}"
+
+
+def _cmd_models(_args) -> int:
+    for name in model_names():
+        model = get_model(name)
+        kind = "porf-acyclic" if model.porf_acyclic else "load-buffering"
+        print(f"{name:10s} ({kind})")
+    return 0
+
+
+def _cmd_litmus(args) -> int:
+    names = litmus_names() if args.all else [args.test]
+    if not args.all and args.test is None:
+        print("specify a litmus test name or --all", file=sys.stderr)
+        return 2
+    failures = 0
+    for name in names:
+        test = get_litmus(name)
+        verdict = run_litmus(test, args.model)
+        expected = allowed(name, args.model)
+        status = "" if verdict.observed == expected else "  [deviates from literature]"
+        print(f"{verdict}{status}")
+        failures += verdict.observed != expected
+    return 1 if failures else 0
+
+
+def _cmd_bench(args) -> int:
+    program = _find_program(args.family, args.n)
+    if program is None:
+        print(_unknown_family(args.family), file=sys.stderr)
+        return 2
+    row = run_hmc(program, args.model)
+    print(row.format())
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    program = _find_program(args.family, args.n)
+    if program is None:
+        print(_unknown_family(args.family), file=sys.stderr)
+        return 2
+    options = ExplorationOptions(stop_on_error=not args.keep_going)
+    result = Explorer(program, get_model(args.model), options).run()
+    print(result.summary())
+    if result.errors:
+        error = result.errors[0]
+        print("\nwitness:")
+        print(error.witness)
+        if error.graph is not None:
+            from .core.witness import format_witness
+
+            print("\nas a schedule:")
+            print(format_witness(error.graph))
+        return 1
+    return 0
+
+
+def _cmd_litmus_file(args) -> int:
+    try:
+        with open(args.path) as handle:
+            test = parse_litmus(handle.read())
+    except OSError as exc:
+        print(f"cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    verdict = run_litmus(test, args.model)
+    print(verdict)
+    if test.description:
+        print(f"probe: {test.description}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    program = _find_program(args.family, args.n)
+    if program is None:
+        print(_unknown_family(args.family), file=sys.stderr)
+        return 2
+    comparison = compare_models(program, args.left, args.right)
+    print(comparison.summary())
+    if args.witness and comparison.witnesses:
+        outcome, witness = next(iter(sorted(comparison.witnesses.items())))
+        shown = ", ".join(f"{k}={v}" for k, v in outcome)
+        print(f"\nwitness for {{{shown}}}:")
+        print(witness)
+    return 0
+
+
+def _cmd_repair(args) -> int:
+    program = _find_program(args.family, args.n)
+    if program is None:
+        print(_unknown_family(args.family), file=sys.stderr)
+        return 2
+    fence = FenceKind(args.fence)
+    result = synthesize_fences(
+        program, args.model, fence, max_fences=args.max_fences
+    )
+    print(result.summary())
+    return 0 if result.placements is not None else 1
+
+
+def _cmd_estimate(args) -> int:
+    program = _find_program(args.family, args.n)
+    if program is None:
+        print(_unknown_family(args.family), file=sys.stderr)
+        return 2
+    from .core.estimate import estimate_explorations
+
+    print(estimate_explorations(program, args.model, walks=args.walks))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    fn = ALL_EXPERIMENTS.get(args.name)
+    if fn is None:
+        known = ", ".join(sorted(ALL_EXPERIMENTS))
+        print(f"unknown experiment {args.name!r}; known: {known}", file=sys.stderr)
+        return 2
+    fn()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hmc",
+        description="Stateless model checking for hardware memory models "
+        "(ASPLOS 2020 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the supported memory models")
+
+    litmus = sub.add_parser("litmus", help="run litmus tests")
+    litmus.add_argument("test", nargs="?", help="litmus test name (see repro.litmus)")
+    litmus.add_argument("--all", action="store_true", help="run the whole corpus")
+    litmus.add_argument("--model", default="sc", choices=model_names())
+
+    bench = sub.add_parser("bench", help="run one benchmark workload")
+    bench.add_argument("family", help="workload family (e.g. sb, ainc, ticket-lock)")
+    bench.add_argument("--n", type=int, default=2, help="workload size")
+    bench.add_argument("--model", default="sc", choices=model_names())
+
+    verify_p = sub.add_parser("verify", help="verify a workload (stop at first error)")
+    verify_p.add_argument("family")
+    verify_p.add_argument("--n", type=int, default=2)
+    verify_p.add_argument("--model", default="sc", choices=model_names())
+    verify_p.add_argument(
+        "--keep-going", action="store_true", help="collect all errors"
+    )
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a table/figure from DESIGN.md"
+    )
+    experiment.add_argument("name", help="experiment id (t1..t5, f1..f3, a1, a2)")
+
+    litmus_file = sub.add_parser("litmus-file", help="parse and run a litmus file")
+    litmus_file.add_argument("path")
+    litmus_file.add_argument("--model", default="sc", choices=model_names())
+
+    compare = sub.add_parser("compare", help="diff a workload under two models")
+    compare.add_argument("family")
+    compare.add_argument("--n", type=int, default=2)
+    compare.add_argument("--left", default="sc", choices=model_names())
+    compare.add_argument("--right", default="tso", choices=model_names())
+    compare.add_argument("--witness", action="store_true")
+
+    repair = sub.add_parser("repair", help="synthesise fences to fix a workload")
+    repair.add_argument("family")
+    repair.add_argument("--n", type=int, default=2)
+    repair.add_argument("--model", default="tso", choices=model_names())
+    repair.add_argument(
+        "--fence",
+        default="mfence",
+        choices=[k.value for k in FenceKind if k is not FenceKind.C11],
+    )
+    repair.add_argument("--max-fences", type=int, default=3)
+
+    estimate = sub.add_parser(
+        "estimate", help="estimate exploration size by random descents"
+    )
+    estimate.add_argument("family")
+    estimate.add_argument("--n", type=int, default=2)
+    estimate.add_argument("--model", default="sc", choices=model_names())
+    estimate.add_argument("--walks", type=int, default=50)
+
+    return parser
+
+
+_COMMANDS = {
+    "models": _cmd_models,
+    "litmus": _cmd_litmus,
+    "litmus-file": _cmd_litmus_file,
+    "bench": _cmd_bench,
+    "verify": _cmd_verify,
+    "compare": _cmd_compare,
+    "repair": _cmd_repair,
+    "estimate": _cmd_estimate,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

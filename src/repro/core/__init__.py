@@ -1,0 +1,25 @@
+"""The HMC core: stateless model checking parametric in the memory model."""
+
+from .config import ExplorationOptions
+from .report import to_dict, to_json
+from .estimate import Estimate, estimate_explorations
+from .explorer import Explorer, count_executions, verify
+from .result import ErrorReport, Stats, VerificationResult
+from .revisits import backward_revisits, maximally_added, replay_matches
+
+__all__ = [
+    "ErrorReport",
+    "Estimate",
+    "estimate_explorations",
+    "ExplorationOptions",
+    "Explorer",
+    "Stats",
+    "VerificationResult",
+    "backward_revisits",
+    "count_executions",
+    "maximally_added",
+    "replay_matches",
+    "to_dict",
+    "to_json",
+    "verify",
+]

@@ -1,0 +1,129 @@
+"""Differential verification: the same program under two models.
+
+Answers the questions HMC-style tooling gets used for in practice:
+*which behaviours does porting to a weaker architecture add?* and
+*does my synchronisation still work there?*  `compare_models` runs
+the checker under both models and diffs the outcome sets, returning
+the behaviours (and witnesses) unique to each side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..graphs import ExecutionGraph
+from ..lang import Program
+from ..models import MemoryModel, get_model
+from .config import ExplorationOptions
+from .explorer import Explorer
+from .result import Outcome, VerificationResult
+
+
+@dataclass
+class ModelComparison:
+    """The difference in behaviour between two memory models."""
+
+    program: str
+    left: str
+    right: str
+    left_result: VerificationResult
+    right_result: VerificationResult
+    #: outcomes observable under left but not right, and vice versa
+    only_left: set[Outcome] = field(default_factory=set)
+    only_right: set[Outcome] = field(default_factory=set)
+    #: a witness graph (pretty text) per side-exclusive outcome
+    witnesses: dict[Outcome, str] = field(default_factory=dict)
+
+    @property
+    def equivalent(self) -> bool:
+        """Same observable outcomes, same safety verdict."""
+        return (
+            not self.only_left
+            and not self.only_right
+            and self.left_result.ok == self.right_result.ok
+        )
+
+    @property
+    def executions_ratio(self) -> float:
+        """How many more executions the weaker side explores."""
+        if self.left_result.executions == 0:
+            return float("inf")
+        return self.right_result.executions / self.left_result.executions
+
+    def summary(self) -> str:
+        lines = [
+            f"program : {self.program}",
+            f"{self.left:9s}: {self.left_result.executions} executions, "
+            f"{len(self.left_result.errors)} errors",
+            f"{self.right:9s}: {self.right_result.executions} executions, "
+            f"{len(self.right_result.errors)} errors",
+        ]
+        if self.equivalent:
+            lines.append("observably equivalent under both models")
+        for side, outcomes in (
+            (self.left, self.only_left),
+            (self.right, self.only_right),
+        ):
+            for outcome in sorted(outcomes):
+                shown = ", ".join(f"{k}={v}" for k, v in outcome) or "(empty)"
+                lines.append(f"only under {side}: {{{shown}}}")
+        return "\n".join(lines)
+
+
+def _run(program: Program, model: MemoryModel) -> VerificationResult:
+    options = ExplorationOptions(stop_on_error=False, collect_executions=True)
+    return Explorer(program, model, options).run()
+
+
+def _outcome_of(program: Program, graph: ExecutionGraph) -> Outcome:
+    from ..lang import replay
+
+    outcome = []
+    for tid, reg in program.observables:
+        rep = replay(program.threads[tid], tid, graph.read_values(tid))
+        if reg in rep.registers:
+            outcome.append((f"{reg}@{tid}", rep.registers[reg]))
+    return tuple(sorted(outcome))
+
+
+def compare_models(
+    program: Program,
+    left: MemoryModel | str,
+    right: MemoryModel | str,
+) -> ModelComparison:
+    """Diff the observable behaviours of ``program`` under two models."""
+    left = get_model(left) if isinstance(left, str) else left
+    right = get_model(right) if isinstance(right, str) else right
+    left_result = _run(program, left)
+    right_result = _run(program, right)
+    comparison = ModelComparison(
+        program=program.name,
+        left=left.name,
+        right=right.name,
+        left_result=left_result,
+        right_result=right_result,
+    )
+    left_outcomes = set(left_result.outcomes)
+    right_outcomes = set(right_result.outcomes)
+    comparison.only_left = left_outcomes - right_outcomes
+    comparison.only_right = right_outcomes - left_outcomes
+    for result, exclusive in (
+        (left_result, comparison.only_left),
+        (right_result, comparison.only_right),
+    ):
+        if not exclusive:
+            continue
+        for graph in result.execution_graphs:
+            outcome = _outcome_of(program, graph)
+            if outcome in exclusive and outcome not in comparison.witnesses:
+                comparison.witnesses[outcome] = graph.pretty()
+    return comparison
+
+
+def new_behaviours(
+    program: Program,
+    strong: MemoryModel | str,
+    weak: MemoryModel | str,
+) -> set[Outcome]:
+    """Outcomes that porting from ``strong`` to ``weak`` introduces."""
+    return compare_models(program, strong, weak).only_right

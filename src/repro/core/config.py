@@ -1,0 +1,41 @@
+"""Exploration options.
+
+The flags mirror the ablations in the evaluation: backward revisits
+and the maximality condition can be disabled (experiment A1), and
+incremental consistency checking can be turned off (A2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExplorationOptions:
+    """Tuning knobs for :class:`repro.core.explorer.Explorer`."""
+
+    #: stop after this many consistent executions (None = exhaustive)
+    max_executions: int | None = None
+    #: hard safety bound on events per execution graph
+    max_events: int = 10_000
+    #: hard safety bound on explored complete graphs (None = unlimited)
+    max_explored: int | None = None
+    #: abort the search at the first assertion failure
+    stop_on_error: bool = True
+    #: enable backward revisits (disabling loses executions — ablation A1)
+    backward_revisits: bool = True
+    #: enforce the TruSt maximality condition on deleted events
+    #: (disabling multiplies duplicates — ablation A1)
+    maximality_check: bool = True
+    #: deduplicate complete executions by canonical graph hashing;
+    #: None = automatic (off for porf-acyclic models, on otherwise)
+    deduplicate: bool | None = None
+    #: check model consistency after every event addition instead of
+    #: only at completion (ablation A2)
+    incremental_checks: bool = True
+    #: record every complete execution graph in the result (tests)
+    collect_executions: bool = False
+    #: re-run all threads after each backward revisit and verify the
+    #: kept labels replay identically (cheap, and required for
+    #: dependency-prefix revisits; only disable in experiments)
+    validate_revisits: bool = True

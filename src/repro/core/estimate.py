@@ -1,0 +1,97 @@
+"""Statistical estimation of the exploration size.
+
+Before committing to an exhaustive run, the GenMC-family tools offer
+an *estimation mode*: repeated random descents through the exploration
+tree, each multiplying the branching factors it sees (Knuth's 1975
+unbiased tree-size estimator).  The mean over walks estimates the
+number of complete explorations (consistent + blocked + duplicates
+alike reach leaves, so the estimate tracks total exploration work);
+the spread indicates how lopsided the tree is.
+
+This reuses the exact production `Explorer._step`, so the estimated
+tree is the real one — including revisits.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..lang import Program
+from ..models import MemoryModel, get_model
+from .config import ExplorationOptions
+from .explorer import Explorer, _SearchLimit
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """The result of an estimation run."""
+
+    program: str
+    model: str
+    walks: int
+    #: Knuth estimate of the number of complete explorations (leaves)
+    mean: float
+    #: sample standard deviation of the per-walk estimates
+    std: float
+    #: deepest exploration seen, in events
+    max_depth: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.program} under {self.model}: ≈{self.mean:.1f} "
+            f"explorations (σ={self.std:.1f}, {self.walks} walks, "
+            f"depth ≤ {self.max_depth})"
+        )
+
+
+def _one_walk(explorer: Explorer, rng: random.Random) -> tuple[float, int]:
+    """One random descent; returns (leaf-count estimate, depth)."""
+    from ..graphs import ExecutionGraph
+
+    graph = ExecutionGraph(explorer.program.location_bases())
+    weight = 1.0
+    depth = 0
+    while True:
+        try:
+            successors = explorer._step(graph)
+        except _SearchLimit:
+            return weight, depth
+        if successors is None:
+            return weight, depth
+        weight *= len(successors)
+        graph = rng.choice(successors)
+        depth = len(graph)
+
+
+def estimate_explorations(
+    program: Program,
+    model: MemoryModel | str,
+    walks: int = 50,
+    seed: int = 0,
+) -> Estimate:
+    """Estimate the size of the exploration tree by random descents."""
+    model = get_model(model) if isinstance(model, str) else model
+    rng = random.Random(seed)
+    samples = []
+    max_depth = 0
+    for _ in range(walks):
+        explorer = Explorer(
+            program,
+            model,
+            # leaves must not abort the walk
+            ExplorationOptions(stop_on_error=False),
+        )
+        weight, depth = _one_walk(explorer, rng)
+        samples.append(weight)
+        max_depth = max(max_depth, depth)
+    mean = sum(samples) / len(samples)
+    variance = sum((s - mean) ** 2 for s in samples) / max(1, len(samples) - 1)
+    return Estimate(
+        program=program.name,
+        model=model.name,
+        walks=walks,
+        mean=mean,
+        std=variance**0.5,
+        max_depth=max_depth,
+    )

@@ -1,0 +1,301 @@
+"""The HMC exploration algorithm.
+
+A depth-first search over execution graphs.  Each step picks the first
+thread with a pending event (the scheduler is deterministic — the
+graph alone determines the continuation) and branches:
+
+* a **read** branches over every consistent reads-from source among
+  the writes already in the graph (forward revisit);
+* a **write** branches over every consistent coherence position, and
+  additionally *backward-revisits* reads added earlier (see
+  :mod:`repro.core.revisits`) — this is how executions in which an
+  early read observes a late write are discovered;
+* fences and thread-local steps do not branch.
+
+Completed graphs are classified as consistent executions, blocked
+(failed ``assume``/unsatisfiable RMW) or erroneous (failed
+``assert``).  Near-optimality comes from three cooperating mechanisms
+(see DESIGN.md §3): the maximality filter on revisits, memoisation of
+revisit states (which also guarantees termination of RMW revisit
+chains), and canonical-hash deduplication of completions — duplicates
+are suppressed and *reported*, and measure zero on the litmus corpus
+for every porf-acyclic model.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..events import FenceLabel, Label, ReadLabel, WriteLabel
+from ..graphs import ExecutionGraph, canonical_key, final_state
+from ..lang import Program, ReplayStatus, ThreadReplay, replay
+from ..models import MemoryModel, get_model
+from .config import ExplorationOptions
+from .result import ErrorReport, VerificationResult
+from .revisits import backward_revisits
+
+
+class _SearchLimit(Exception):
+    """Internal: a configured exploration limit was reached."""
+
+
+class Explorer:
+    """One verification run of ``program`` against ``model``."""
+
+    def __init__(
+        self,
+        program: Program,
+        model: MemoryModel | str,
+        options: ExplorationOptions | None = None,
+    ) -> None:
+        self.program = program
+        self.model = get_model(model) if isinstance(model, str) else model
+        self.options = options or ExplorationOptions()
+        dedup = self.options.deduplicate
+        self._dedup = True if dedup is None else dedup
+        self._seen: set = set()
+        #: revisit-produced states already scheduled.  Exploration is a
+        #: pure function of (graph, stamps), so a repeated state has an
+        #: identical future and is skipped; since stamps are compacted
+        #: after every revisit the state space is finite, which is what
+        #: makes revisit chains between RMWs terminate.
+        self._revisit_seen: set = set()
+        self.result = VerificationResult(
+            program=program.name, model=self.model.name
+        )
+
+    # -- public API ------------------------------------------------------
+
+    def run(self) -> VerificationResult:
+        start = time.perf_counter()
+        root = ExecutionGraph(self.program.location_bases())
+        stack: list[ExecutionGraph] = [root]
+        try:
+            while stack:
+                graph = stack.pop()
+                while True:
+                    successors = self._step(graph)
+                    if successors is None:
+                        break
+                    if len(successors) == 1:
+                        graph = successors[0]
+                        continue
+                    stack.extend(reversed(successors))
+                    break
+        except _SearchLimit:
+            self.result.truncated = True
+        self.result.elapsed = time.perf_counter() - start
+        return self.result
+
+    # -- one exploration step ------------------------------------------------
+
+    def _step(self, graph: ExecutionGraph) -> list[ExecutionGraph] | None:
+        """Extend ``graph`` by one event.
+
+        Returns the successor graphs, or None when the graph is
+        complete or a dead end (both are accounted for here).
+        """
+        replays: dict[int, ThreadReplay] = {}
+        for tid in range(self.program.num_threads):
+            n = graph.thread_size(tid)
+            rep = replay(
+                self.program.threads[tid],
+                tid,
+                graph.read_values(tid),
+                max_events=n + 1,
+            )
+            replays[tid] = rep
+            next_label = self._next_label(rep, n)
+            if next_label is None:
+                continue
+            successors = self._add_event(graph, tid, next_label)
+            if not successors:
+                self._record_blocked()
+                return None
+            return successors
+        self._complete(graph, replays)
+        return None
+
+    @staticmethod
+    def _next_label(rep: ThreadReplay, existing: int) -> Label | None:
+        """The thread's next event label, or None when it is terminal."""
+        if len(rep.labels) > existing:
+            return rep.labels[existing]
+        if rep.status is ReplayStatus.NEEDS_VALUE and rep.pending is not None:
+            return rep.pending
+        return None
+
+    # -- event addition --------------------------------------------------------
+
+    def _add_event(
+        self, graph: ExecutionGraph, tid: int, label: Label
+    ) -> list[ExecutionGraph]:
+        self.result.stats.events_added += 1
+        if len(graph) >= self.options.max_events:
+            raise _SearchLimit
+        if isinstance(label, ReadLabel):
+            return self._add_read(graph, tid, label)
+        if isinstance(label, WriteLabel):
+            return self._add_write(graph, tid, label)
+        if isinstance(label, FenceLabel):
+            extended = graph.copy()
+            extended.add_fence(tid, label)
+            return [extended]
+        raise TypeError(f"cannot add label {label!r}")  # pragma: no cover
+
+    def _add_read(
+        self, graph: ExecutionGraph, tid: int, label: ReadLabel
+    ) -> list[ExecutionGraph]:
+        self.result.stats.reads_added += 1
+        graph.ensure_location(label.loc)
+        successors = []
+        # coherence-maximal candidate first: it is always consistent
+        # (extensibility) and is the canonical choice for maximality
+        for write in reversed(graph.co_order(label.loc)):
+            self.result.stats.rf_candidates += 1
+            extended = graph.copy()
+            extended.add_read(tid, label, write)
+            if self._consistent_step(extended):
+                successors.append(extended)
+        return successors
+
+    def _add_write(
+        self, graph: ExecutionGraph, tid: int, label: WriteLabel
+    ) -> list[ExecutionGraph]:
+        self.result.stats.writes_added += 1
+        graph.ensure_location(label.loc)
+        placements = []
+        n_writes = len(graph.co_order(label.loc))
+        # coherence-maximal position first (canonical choice)
+        for index in range(n_writes, 0, -1):
+            self.result.stats.co_positions += 1
+            extended = graph.copy()
+            event = extended.add_write(tid, label, index)
+            placements.append((extended, event, self._consistent_step(extended)))
+        successors = [g for g, _, ok in placements if ok]
+        if self.options.backward_revisits:
+            # Revisits are generated from *every* placement, including
+            # ones inconsistent in the full graph: a revisit deletes
+            # events, and the restricted graph can be consistent even
+            # when the full one is not (e.g. a second RMW that cannot
+            # be placed atomically until the conflicting RMW is
+            # deleted).  The restricted graph is checked on its own.
+            for extended, event, _ok in placements:
+                for revisited in backward_revisits(
+                    extended,
+                    event,
+                    self.program,
+                    self.model,
+                    self.options,
+                    self.result.stats,
+                ):
+                    key = (
+                        canonical_key(revisited),
+                        tuple(
+                            (e.tid, e.index)
+                            for e in revisited.events_by_stamp()
+                        ),
+                    )
+                    if key in self._revisit_seen:
+                        continue
+                    self._revisit_seen.add(key)
+                    successors.append(revisited)
+        return successors
+
+    def _consistent_step(self, graph: ExecutionGraph) -> bool:
+        if not self.options.incremental_checks:
+            # still need coherence to keep the co-position enumeration
+            # finite and meaningful
+            return self.model.coherence_ok(graph)
+        self.result.stats.consistency_checks += 1
+        return self.model.is_consistent(graph)
+
+    # -- completion -----------------------------------------------------------
+
+    def _complete(
+        self, graph: ExecutionGraph, replays: dict[int, ThreadReplay]
+    ) -> None:
+        if not self.options.incremental_checks and not self.model.is_consistent(
+            graph
+        ):
+            return
+        statuses = {tid: rep.status for tid, rep in replays.items()}
+        errored = [
+            tid for tid, s in statuses.items() if s is ReplayStatus.ERROR
+        ]
+        if errored:
+            tid = errored[0]
+            self.result.errors.append(
+                ErrorReport(
+                    message=replays[tid].error or "assertion failed",
+                    thread=tid,
+                    witness=graph.pretty(),
+                    graph=graph,
+                )
+            )
+            if self.options.stop_on_error:
+                raise _SearchLimit
+            return
+        if any(s is ReplayStatus.BLOCKED for s in statuses.values()):
+            self._record_blocked()
+            return
+        if self._dedup or self.options.collect_executions:
+            key = canonical_key(graph)
+            if key in self._seen:
+                self.result.duplicates += 1
+                return
+            self._seen.add(key)
+        self.result.executions += 1
+        self._record_outcome(graph, replays)
+        if self.options.collect_executions:
+            self.result.execution_graphs.append(graph)
+        if (
+            self.options.max_executions is not None
+            and self.result.executions >= self.options.max_executions
+        ):
+            raise _SearchLimit
+        if (
+            self.options.max_explored is not None
+            and self.result.explored >= self.options.max_explored
+        ):
+            raise _SearchLimit
+
+    def _record_blocked(self) -> None:
+        self.result.blocked += 1
+
+    def _record_outcome(
+        self, graph: ExecutionGraph, replays: dict[int, ThreadReplay]
+    ) -> None:
+        outcome = []
+        for tid, reg in self.program.observables:
+            value = replays[tid].registers.get(reg)
+            if value is not None:
+                outcome.append((f"{reg}@{tid}", value))
+        self.result.outcomes[tuple(sorted(outcome))] += 1
+        self.result.final_states[final_state(graph)] += 1
+
+
+def verify(
+    program: Program,
+    model: MemoryModel | str = "sc",
+    options: ExplorationOptions | None = None,
+    **option_overrides,
+) -> VerificationResult:
+    """Verify ``program`` against ``model`` and return the result.
+
+    Keyword overrides are forwarded to :class:`ExplorationOptions`,
+    e.g. ``verify(p, "tso", stop_on_error=False)``.
+    """
+    if options is None:
+        options = ExplorationOptions(**option_overrides)
+    elif option_overrides:
+        raise ValueError("pass either options or keyword overrides, not both")
+    return Explorer(program, model, options).run()
+
+
+def count_executions(
+    program: Program, model: MemoryModel | str = "sc", **option_overrides
+) -> int:
+    """The number of distinct consistent executions of ``program``."""
+    option_overrides.setdefault("stop_on_error", False)
+    return verify(program, model, **option_overrides).executions

@@ -1,0 +1,133 @@
+"""Fence synthesis: make a program safe on a weak model by inserting
+the fewest fences.
+
+The application the paper's introduction motivates: code verified
+under SC breaks on TSO/ARM/POWER; the checker can not only find the
+violating execution but *search the space of fence placements* for a
+minimal fix.  `synthesize_fences` enumerates candidate insertion
+points (between consecutive top-level statements of each thread) and
+tries placements in increasing cardinality, verifying each with the
+checker, so the returned set is minimal in size.
+
+This is exhaustive-by-construction (every candidate subset is model
+checked), which is exactly how fence-insertion papers built on SMC
+back ends work; the exploration's speed is what makes it viable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..events import FenceKind, MemOrder
+from ..lang import Fence, Program, Stmt
+from ..models import MemoryModel, get_model
+from .config import ExplorationOptions
+from .explorer import Explorer
+
+#: an insertion point: fence goes before statement ``index`` of thread
+FencePlacement = tuple[int, int]
+
+
+@dataclass
+class RepairResult:
+    program: str
+    model: str
+    fence: FenceKind
+    #: None when even fencing everywhere does not help
+    placements: tuple[FencePlacement, ...] | None
+    #: the repaired program, when one exists
+    repaired: Program | None
+    #: how many candidate programs were model checked
+    attempts: int = 0
+    already_safe: bool = False
+
+    def summary(self) -> str:
+        if self.already_safe:
+            return f"{self.program} is already safe under {self.model}"
+        if self.placements is None:
+            return (
+                f"{self.program}: no {self.fence.value} placement fixes it "
+                f"under {self.model} ({self.attempts} candidates tried)"
+            )
+        spots = ", ".join(
+            f"thread {tid} before statement {idx}"
+            for tid, idx in self.placements
+        )
+        return (
+            f"{self.program}: safe under {self.model} with "
+            f"{len(self.placements)} x {self.fence.value} ({spots}; "
+            f"{self.attempts} candidates tried)"
+        )
+
+
+def _with_fences(
+    program: Program, placements: tuple[FencePlacement, ...], fence: FenceKind
+) -> Program:
+    threads = []
+    for tid, stmts in enumerate(program.threads):
+        out: list[Stmt] = []
+        wanted = sorted(idx for t, idx in placements if t == tid)
+        for idx, st in enumerate(stmts):
+            if idx in wanted:
+                out.append(Fence(fence, MemOrder.SC))
+            out.append(st)
+        if len(stmts) in wanted:  # fence at the very end
+            out.append(Fence(fence, MemOrder.SC))
+        threads.append(tuple(out))
+    return Program(
+        name=f"{program.name}+fences",
+        threads=tuple(threads),
+        observables=program.observables,
+    )
+
+
+def _is_safe(program: Program, model: MemoryModel, max_events: int) -> bool:
+    options = ExplorationOptions(stop_on_error=True, max_events=max_events)
+    return Explorer(program, model, options).run().ok
+
+
+def candidate_points(program: Program) -> list[FencePlacement]:
+    """All interior insertion points (a fence first or last in a thread
+    never orders anything)."""
+    points = []
+    for tid, stmts in enumerate(program.threads):
+        for idx in range(1, len(stmts)):
+            points.append((tid, idx))
+    return points
+
+
+def synthesize_fences(
+    program: Program,
+    model: MemoryModel | str,
+    fence: FenceKind = FenceKind.SYNC,
+    max_fences: int | None = None,
+    max_events: int = 10_000,
+) -> RepairResult:
+    """Find a minimum-cardinality set of fence insertions making
+    ``program`` assertion-safe under ``model``."""
+    model = get_model(model) if isinstance(model, str) else model
+    result = RepairResult(
+        program=program.name,
+        model=model.name,
+        fence=fence,
+        placements=None,
+        repaired=None,
+    )
+    if _is_safe(program, model, max_events):
+        result.already_safe = True
+        result.placements = ()
+        result.repaired = program
+        return result
+
+    points = candidate_points(program)
+    limit = len(points) if max_fences is None else min(max_fences, len(points))
+    for size in range(1, limit + 1):
+        for combo in itertools.combinations(points, size):
+            candidate = _with_fences(program, combo, fence)
+            result.attempts += 1
+            if _is_safe(candidate, model, max_events):
+                result.placements = combo
+                result.repaired = candidate
+                return result
+    return result

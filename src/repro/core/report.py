@@ -1,0 +1,43 @@
+"""Serialisation of verification results.
+
+``to_dict``/``to_json`` give a stable machine-readable form of a
+:class:`~repro.core.result.VerificationResult` (used by the benchmark
+harness and handy for CI pipelines diffing verification outcomes).
+"""
+
+from __future__ import annotations
+
+import json
+
+from .result import VerificationResult
+
+
+def to_dict(result: VerificationResult) -> dict:
+    """A JSON-ready dictionary of the result."""
+    return {
+        "program": result.program,
+        "model": result.model,
+        "executions": result.executions,
+        "blocked": result.blocked,
+        "duplicates": result.duplicates,
+        "truncated": result.truncated,
+        "ok": result.ok,
+        "elapsed_seconds": round(result.elapsed, 6),
+        "errors": [
+            {"message": e.message, "thread": e.thread, "witness": e.witness}
+            for e in result.errors
+        ],
+        "outcomes": [
+            {"observation": dict(key), "count": count}
+            for key, count in sorted(result.outcomes.items())
+        ],
+        "final_states": [
+            {"state": dict(key), "count": count}
+            for key, count in sorted(result.final_states.items())
+        ],
+        "stats": result.stats.as_dict(),
+    }
+
+
+def to_json(result: VerificationResult, indent: int | None = 2) -> str:
+    return json.dumps(to_dict(result), indent=indent, sort_keys=False)

@@ -1,0 +1,102 @@
+"""Verification results and statistics."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..graphs import ExecutionGraph
+
+#: An observable outcome: ("r0@1", value) pairs, sorted.
+Outcome = tuple[tuple[str, int], ...]
+
+
+@dataclass(frozen=True)
+class ErrorReport:
+    """An assertion failure, with its witness execution."""
+
+    message: str
+    thread: int
+    witness: str  # pretty-printed witness graph
+    #: the witness graph itself (for linearisation / DOT export)
+    graph: "ExecutionGraph | None" = None
+
+    def __str__(self) -> str:
+        return f"assertion failure in thread {self.thread}: {self.message}"
+
+
+@dataclass
+class Stats:
+    """Exploration counters (the quantities the paper's tables report,
+    plus internals useful for the ablations)."""
+
+    events_added: int = 0
+    reads_added: int = 0
+    writes_added: int = 0
+    rf_candidates: int = 0
+    co_positions: int = 0
+    revisits_considered: int = 0
+    revisits_performed: int = 0
+    revisits_rejected_prefix: int = 0
+    revisits_rejected_maximality: int = 0
+    revisits_rejected_replay: int = 0
+    revisits_rejected_inconsistent: int = 0
+    consistency_checks: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(vars(self))
+
+
+@dataclass
+class VerificationResult:
+    """Everything a run of the checker learned about a program."""
+
+    program: str
+    model: str
+    #: distinct consistent complete executions
+    executions: int = 0
+    #: complete-or-dead-end explorations blocked by a failed assume /
+    #: unsatisfiable RMW
+    blocked: int = 0
+    #: complete graphs explored more than once (0 for porf-acyclic models)
+    duplicates: int = 0
+    errors: list[ErrorReport] = field(default_factory=list)
+    #: observable-register outcomes over consistent executions
+    outcomes: Counter = field(default_factory=Counter)
+    #: final memory states over consistent executions
+    final_states: Counter = field(default_factory=Counter)
+    elapsed: float = 0.0
+    stats: Stats = field(default_factory=Stats)
+    #: populated when options.collect_executions is set
+    execution_graphs: list[ExecutionGraph] = field(default_factory=list)
+    #: search aborted by a limit (max_executions / max_explored)
+    truncated: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """No assertion failures found."""
+        return not self.errors
+
+    @property
+    def explored(self) -> int:
+        """All complete graphs visited, including duplicates."""
+        return self.executions + self.duplicates
+
+    def summary(self) -> str:
+        lines = [
+            f"program   : {self.program}",
+            f"model     : {self.model}",
+            f"executions: {self.executions}",
+            f"blocked   : {self.blocked}",
+            f"duplicates: {self.duplicates}",
+            f"errors    : {len(self.errors)}",
+            f"time      : {self.elapsed:.3f}s",
+        ]
+        if self.errors:
+            lines.append(f"first error: {self.errors[0]}")
+        if self.outcomes:
+            lines.append("outcomes:")
+            for outcome, count in sorted(self.outcomes.items()):
+                shown = ", ".join(f"{k}={v}" for k, v in outcome)
+                lines.append(f"  {{{shown}}}: {count}")
+        return "\n".join(lines)

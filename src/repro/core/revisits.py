@@ -1,0 +1,140 @@
+"""Backward revisits: the mechanism that lets already-added reads
+observe writes added later.
+
+When the explorer adds a write ``w``, every same-location read ``r``
+outside ``w``'s *causal prefix* is a revisit candidate: the graph is
+restricted to the events added no later than ``r`` plus the events
+``w`` transitively needs, ``r`` is redirected to read from ``w``, and
+exploration restarts from there (the deleted events re-execute).
+
+Which reads count as "outside the prefix" is what distinguishes HMC
+from GenMC: the model supplies the prefix relation
+(:meth:`MemoryModel.prefix_preds`).  Under po ∪ rf every read po- or
+rf-before ``w`` is protected, so load-buffering cycles can never be
+constructed; under a dependency prefix an independent po-earlier read
+*can* be revisited by a po-later write, constructing exactly the
+porf-cyclic executions hardware allows.
+
+Duplication avoidance follows TruSt (Kokologiannakis et al., POPL
+2022): a revisit is performed only when every deleted event was added
+*maximally* (reads from the coherence-maximal write then available,
+writes at the coherence-maximal position), which makes the revisited
+graph's re-exploration canonical.
+"""
+
+from __future__ import annotations
+
+from ..events import Event, ReadLabel, WriteLabel, labels_match
+from ..graphs import ExecutionGraph, closure, revisit_kept_set
+from ..lang import Program, replay
+from ..models import MemoryModel
+from .config import ExplorationOptions
+from .result import Stats
+
+
+def maximally_added(graph: ExecutionGraph, ev: Event) -> bool:
+    """Was ``ev``'s choice the canonical (first) one?
+
+    A read is maximal when it reads from the coherence-latest write
+    among those added before it; a write is maximal when no write added
+    before it sits coherence-after it.  Fences have no choices.
+    """
+    lab = graph.label(ev)
+    stamp = graph.stamp(ev)
+    if isinstance(lab, ReadLabel):
+        order = graph.co_order(lab.loc)
+        older = [w for w in order if graph.stamp(w) < stamp]
+        return bool(older) and graph.rf(ev) == older[-1]
+    if isinstance(lab, WriteLabel):
+        # Maximality is judged against the graph as it was when the
+        # event was added: the write must sit coherence-after every
+        # *older* same-location write.  Where later-added writes ended
+        # up is irrelevant.
+        order = graph.co_order(lab.loc)
+        pos = order.index(ev)
+        return all(graph.stamp(w) > stamp for w in order[pos + 1:])
+    return True
+
+
+def revisit_candidates(
+    graph: ExecutionGraph, write: Event, model: MemoryModel
+) -> tuple[list[Event], set[Event]]:
+    """Same-location reads outside the write's causal prefix, plus the
+    prefix itself (for the caller's bookkeeping)."""
+    lab = graph.label(write)
+    assert isinstance(lab, WriteLabel)
+    prefix = closure(graph, [write], model.prefix_preds)
+    reads = [
+        r
+        for r in graph.reads(lab.loc)
+        if r not in prefix and r != graph.exclusive_pair(write)
+    ]
+    return reads, prefix
+
+
+def replay_matches(program: Program, graph: ExecutionGraph) -> bool:
+    """Do all threads, re-executed against the graph's read values,
+    reproduce the graph's labels?  This is the validity condition for
+    dependency-prefix revisits: kept events po-after a revisited read
+    must be value-independent of it."""
+    for tid in graph.thread_ids():
+        n = graph.thread_size(tid)
+        rep = replay(
+            program.threads[tid], tid, graph.read_values(tid), max_events=n
+        )
+        if len(rep.labels) < n:
+            return False
+        events = graph.thread_events(tid)
+        for ev, new_label in zip(events, rep.labels):
+            if not labels_match(graph.label(ev), new_label):
+                return False
+    return True
+
+
+def backward_revisits(
+    graph: ExecutionGraph,
+    write: Event,
+    program: Program,
+    model: MemoryModel,
+    options: ExplorationOptions,
+    stats: Stats,
+) -> list[ExecutionGraph]:
+    """All valid revisited graphs produced by the freshly added
+    ``write``.  ``graph`` must already contain ``write`` (at some
+    coherence position) and be consistent."""
+    out: list[ExecutionGraph] = []
+    candidates, _prefix = revisit_candidates(graph, write, model)
+    all_reads = graph.reads(graph.label(write).location)  # type: ignore[arg-type]
+    stats.revisits_considered += len(all_reads)
+    stats.revisits_rejected_prefix += len(all_reads) - len(candidates)
+    for read in candidates:
+        kept = revisit_kept_set(graph, write, read)
+        deleted = [e for e in graph.events() if e not in kept]
+        # Canonicity filter: only revisit from the exploration in which
+        # every deleted event took its canonical (coherence-maximal)
+        # choice — every other configuration of the deleted events is
+        # re-derivable from that one.  This prunes the bulk of the
+        # would-be duplicates; the residue (revisit chains reaching the
+        # same graph along different coherence histories) is suppressed
+        # by the explorer's canonical-hash check and reported.
+        if options.maximality_check and not all(
+            maximally_added(graph, e) for e in deleted
+        ):
+            stats.revisits_rejected_maximality += 1
+            continue
+        revisited = graph.restricted(kept)
+        revisited.set_rf(read, write)
+        # the read is conceptually re-added: it reads a newer write, so
+        # it gets a fresh stamp (and stays revisitable itself)
+        revisited.touch(read)
+        revisited.renumber_stamps()
+        if options.validate_revisits and not replay_matches(program, revisited):
+            stats.revisits_rejected_replay += 1
+            continue
+        stats.consistency_checks += 1
+        if not model.is_consistent(revisited):
+            stats.revisits_rejected_inconsistent += 1
+            continue
+        stats.revisits_performed += 1
+        out.append(revisited)
+    return out

@@ -1,0 +1,74 @@
+"""Witness linearisation: turning an execution graph back into a
+schedule people can read.
+
+For porf-acyclic executions (always, under sc/tso/pso/ra/rc11) the
+events can be ordered consistently with program order and reads-from;
+under SC the order can additionally respect coherence and from-reads,
+i.e. it is a real interleaving.  Load-buffering executions admit no
+such schedule — :func:`linearize` reports that honestly, which is
+itself instructive output (the "this cannot be explained by any
+interleaving" message hardware bug reports need).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..events import Event
+from ..graphs import ExecutionGraph
+from ..graphs.derived import co, fr, po, rf
+from ..relations import union
+
+
+@dataclass(frozen=True)
+class Witness:
+    """A linearised execution, or the reason none exists."""
+
+    schedule: tuple[Event, ...] | None
+    #: "sc" when the schedule explains the execution as a plain
+    #: interleaving, "porf" when it only respects po ∪ rf
+    strength: str | None
+
+    @property
+    def exists(self) -> bool:
+        return self.schedule is not None
+
+
+def linearize(graph: ExecutionGraph) -> Witness:
+    """The strongest schedule the execution admits."""
+    events = [e for e in graph.events() if not e.is_initial]
+    sc_order = union(po(graph), rf(graph), co(graph), fr(graph))
+    try:
+        schedule = sc_order.topological_sort(events)
+        return Witness(tuple(schedule), "sc")
+    except ValueError:
+        pass
+    porf = union(po(graph), rf(graph))
+    try:
+        schedule = porf.topological_sort(events)
+        return Witness(tuple(schedule), "porf")
+    except ValueError:
+        return Witness(None, None)
+
+
+def format_witness(graph: ExecutionGraph, witness: Witness | None = None) -> str:
+    """A human-readable schedule (or the no-interleaving message)."""
+    witness = witness or linearize(graph)
+    if witness.schedule is None:
+        return (
+            "no interleaving explains this execution: po ∪ rf is cyclic "
+            "(a load-buffering behaviour)"
+        )
+    lines = []
+    if witness.strength == "porf":
+        lines.append(
+            "note: consistent with po ∪ rf only — no SC interleaving "
+            "produces these values"
+        )
+    for step, ev in enumerate(witness.schedule):
+        lab = graph.label(ev)
+        extra = ""
+        if lab.is_read:
+            extra = f"   (reads {graph.value_of(ev)} from {graph.rf(ev)!r})"
+        lines.append(f"{step:3d}. thread {ev.tid}: {lab!r}{extra}")
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Events, labels, orderings: the vocabulary of execution graphs."""
+
+from .event import INIT_TID, Event, init_event
+from .labels import (
+    EMPTY_DEPS,
+    FenceLabel,
+    InitLabel,
+    Label,
+    Loc,
+    ReadLabel,
+    Value,
+    WriteLabel,
+    labels_match,
+)
+from .ordering import FenceKind, MemOrder
+
+__all__ = [
+    "EMPTY_DEPS",
+    "Event",
+    "FenceKind",
+    "FenceLabel",
+    "INIT_TID",
+    "InitLabel",
+    "Label",
+    "Loc",
+    "MemOrder",
+    "ReadLabel",
+    "Value",
+    "WriteLabel",
+    "init_event",
+    "labels_match",
+]

@@ -1,0 +1,154 @@
+"""Event labels.
+
+A label says *what* an event does: read a location, write a value,
+fence.  Labels are immutable and carry the syntactic dependency
+information the interpreter derived for them (which program-order
+earlier reads the address, the value, or the control flow leading to
+this event depended on).  Hardware memory models consume exactly this
+information to build their preserved-program-order relations.
+
+Reads-from edges are *not* stored here; they live in the execution
+graph, so the same label object can be shared between explorations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .event import Event
+from .ordering import FenceKind, MemOrder
+
+#: Shared-memory locations are identified by name.
+Loc = str
+#: All values are machine integers.
+Value = int
+
+EMPTY_DEPS: frozenset[Event] = frozenset()
+
+
+@dataclass(frozen=True, slots=True)
+class Label:
+    """Base class of all event labels."""
+
+    #: reads whose value this label's *address* depends on
+    addr_deps: frozenset[Event] = field(default=EMPTY_DEPS, kw_only=True)
+    #: reads whose value this label's *data* (stored value) depends on
+    data_deps: frozenset[Event] = field(default=EMPTY_DEPS, kw_only=True)
+    #: reads an earlier branch depended on (control dependency)
+    ctrl_deps: frozenset[Event] = field(default=EMPTY_DEPS, kw_only=True)
+
+    @property
+    def deps(self) -> frozenset[Event]:
+        """All syntactic dependencies, of any kind."""
+        return self.addr_deps | self.data_deps | self.ctrl_deps
+
+    @property
+    def is_read(self) -> bool:
+        return isinstance(self, ReadLabel)
+
+    @property
+    def is_write(self) -> bool:
+        return isinstance(self, WriteLabel)
+
+    @property
+    def is_fence(self) -> bool:
+        return isinstance(self, FenceLabel)
+
+    @property
+    def is_access(self) -> bool:
+        return isinstance(self, (ReadLabel, WriteLabel))
+
+    @property
+    def location(self) -> Loc | None:
+        return getattr(self, "loc", None)
+
+
+@dataclass(frozen=True, slots=True)
+class ReadLabel(Label):
+    """A load from ``loc``.
+
+    ``exclusive`` marks the read half of an RMW (CAS/FAI); for a CAS the
+    RMW only "fires" (emits its write half) when the value read equals
+    ``cas_expected``.
+    """
+
+    loc: Loc = ""
+    order: MemOrder = MemOrder.RLX
+    exclusive: bool = False
+    cas_expected: Value | None = None
+
+    def matches(self, other: "Label") -> bool:
+        """Same syntactic access (ignoring dependencies)?"""
+        return (
+            isinstance(other, ReadLabel)
+            and other.loc == self.loc
+            and other.order == self.order
+            and other.exclusive == self.exclusive
+            and other.cas_expected == self.cas_expected
+        )
+
+    def __repr__(self) -> str:
+        kind = "U" if self.exclusive else "R"
+        return f"{kind}({self.loc},{self.order.value})"
+
+
+@dataclass(frozen=True, slots=True)
+class WriteLabel(Label):
+    """A store of ``value`` to ``loc``.
+
+    ``exclusive`` marks the write half of an RMW: it is bound to the
+    program-order-immediately-preceding exclusive read.
+    """
+
+    loc: Loc = ""
+    value: Value = 0
+    order: MemOrder = MemOrder.RLX
+    exclusive: bool = False
+
+    def matches(self, other: "Label") -> bool:
+        return (
+            isinstance(other, WriteLabel)
+            and other.loc == self.loc
+            and other.value == self.value
+            and other.order == self.order
+            and other.exclusive == self.exclusive
+        )
+
+    def __repr__(self) -> str:
+        kind = "UW" if self.exclusive else "W"
+        return f"{kind}({self.loc}:={self.value},{self.order.value})"
+
+
+@dataclass(frozen=True, slots=True)
+class FenceLabel(Label):
+    """A memory fence; ``kind`` selects the hardware instruction and
+    ``order`` carries C11 semantics for language-level models."""
+
+    kind: FenceKind = FenceKind.SYNC
+    order: MemOrder = MemOrder.SC
+
+    def matches(self, other: "Label") -> bool:
+        return (
+            isinstance(other, FenceLabel)
+            and other.kind == self.kind
+            and other.order == self.order
+        )
+
+    def __repr__(self) -> str:
+        return f"F({self.kind.value})"
+
+
+@dataclass(frozen=True, slots=True)
+class InitLabel(WriteLabel):
+    """The initialisation write of a location (value 0, on INIT_TID)."""
+
+    def __repr__(self) -> str:
+        return f"Init({self.loc})"
+
+
+def labels_match(a: Label, b: Label) -> bool:
+    """Structural equality modulo dependency annotations."""
+    match_fn = getattr(a, "matches", None)
+    if match_fn is None:  # pragma: no cover - all labels define matches
+        return a == b
+    return match_fn(b)

@@ -1,0 +1,63 @@
+"""Memory orderings and fence kinds.
+
+The event vocabulary covers both language-level orderings (C11-style
+``rlx``/``acq``/``rel``/``sc``, used by the SC/RA/RC11 models) and
+hardware fences (x86 ``MFENCE``, POWER ``sync``/``lwsync``/``isync``,
+ARMv8 ``dmb``/``isb``).  Hardware models read the fence kind; language
+models read the access ordering.  A model simply ignores annotations it
+has no rule for.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class MemOrder(enum.Enum):
+    """Access ordering annotation (C11-style)."""
+
+    RLX = "rlx"
+    ACQ = "acq"
+    REL = "rel"
+    ACQ_REL = "acq_rel"
+    SC = "sc"
+
+    def is_acquire(self) -> bool:
+        """Acquire semantics or stronger (for reads/fences)."""
+        return self in (MemOrder.ACQ, MemOrder.ACQ_REL, MemOrder.SC)
+
+    def is_release(self) -> bool:
+        """Release semantics or stronger (for writes/fences)."""
+        return self in (MemOrder.REL, MemOrder.ACQ_REL, MemOrder.SC)
+
+    def is_sc(self) -> bool:
+        return self is MemOrder.SC
+
+    def __repr__(self) -> str:
+        return self.value
+
+
+class FenceKind(enum.Enum):
+    """Fence instruction kinds across the supported architectures."""
+
+    #: x86 full fence (also models locked no-ops).
+    MFENCE = "mfence"
+    #: POWER heavyweight sync / ARM dmb sy — full barrier.
+    SYNC = "sync"
+    #: POWER lightweight sync — orders everything except W->R.
+    LWSYNC = "lwsync"
+    #: POWER isync / ARM isb — instruction barrier (ctrl+isync idiom).
+    ISYNC = "isync"
+    #: ARMv8 dmb ld — orders reads against later accesses.
+    DMB_LD = "dmb_ld"
+    #: ARMv8 dmb st — orders writes against later writes.
+    DMB_ST = "dmb_st"
+    #: language-level fence carrying a :class:`MemOrder` (see FenceLabel).
+    C11 = "c11"
+
+    def is_full(self) -> bool:
+        """Fences that restore sequential consistency locally."""
+        return self in (FenceKind.MFENCE, FenceKind.SYNC)
+
+    def __repr__(self) -> str:
+        return self.value

@@ -1,0 +1,28 @@
+"""Execution graphs, their derived relations and prefix machinery."""
+
+from . import derived, dot
+from .graph import ExecutionGraph, GraphError
+from .hashing import canonical_key, final_state, rf_key
+from .prefix import (
+    closure,
+    deleted_set,
+    porf_prefix,
+    porf_preds,
+    replay_closure,
+    revisit_kept_set,
+)
+
+__all__ = [
+    "ExecutionGraph",
+    "GraphError",
+    "canonical_key",
+    "closure",
+    "deleted_set",
+    "derived",
+    "final_state",
+    "porf_prefix",
+    "porf_preds",
+    "replay_closure",
+    "revisit_kept_set",
+    "rf_key",
+]

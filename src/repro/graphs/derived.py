@@ -1,0 +1,227 @@
+"""Derived relations of an execution graph.
+
+Memory models are defined over a standard family of relations derived
+from ``po``/``rf``/``co``.  This module computes them as
+:class:`~repro.relations.Relation` values.  Naming follows herd/cat:
+
+* ``rfe``/``rfi`` — external/internal (cross-thread/same-thread) reads-from
+* ``fr``          — from-read: ``rf⁻¹ ; co``
+* ``eco``         — extended coherence order
+* ``po_loc``      — program order between same-location accesses
+
+Initialisation writes count as external to every thread.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Callable
+
+from ..events import Event, FenceLabel, Label, ReadLabel, WriteLabel
+from ..relations import Relation, union
+from .graph import ExecutionGraph
+
+#: per-graph memo: graph -> (version, {key: Relation}).  Consistency
+#: checks ask for the same relations repeatedly (coherence and the
+#: model axiom share rf/co/fr; psc recomputes eco); caching per graph
+#: version makes each relation a once-per-step cost.
+_CACHE: "weakref.WeakKeyDictionary[ExecutionGraph, tuple[int, dict]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def graph_cached(fn: Callable) -> Callable:
+    """Memoise a Relation-valued function of one graph."""
+    name = fn.__name__
+
+    def wrapper(graph: ExecutionGraph):
+        version = graph._version
+        entry = _CACHE.get(graph)
+        if entry is None or entry[0] != version:
+            entry = (version, {})
+            _CACHE[graph] = entry
+        memo = entry[1]
+        if name not in memo:
+            memo[name] = fn(graph)
+        return memo[name]
+
+    wrapper.__name__ = name
+    wrapper.__doc__ = fn.__doc__
+    wrapper.__wrapped__ = fn
+    return wrapper
+
+
+def same_thread(a: Event, b: Event) -> bool:
+    return a.tid == b.tid and not a.is_initial and not b.is_initial
+
+
+@graph_cached
+def po(graph: ExecutionGraph) -> Relation:
+    """Full (transitive) program order, per thread."""
+    rel = Relation()
+    for tid in graph.thread_ids():
+        events = graph.thread_events(tid)
+        for i, a in enumerate(events):
+            for b in events[i + 1:]:
+                rel.add(a, b)
+    return rel
+
+
+@graph_cached
+def po_imm(graph: ExecutionGraph) -> Relation:
+    """Immediate (non-transitive) program order."""
+    rel = Relation()
+    for tid in graph.thread_ids():
+        events = graph.thread_events(tid)
+        for a, b in zip(events, events[1:]):
+            rel.add(a, b)
+    return rel
+
+
+@graph_cached
+def po_loc(graph: ExecutionGraph) -> Relation:
+    """Program order restricted to same-location accesses."""
+    rel = Relation()
+    for tid in graph.thread_ids():
+        events = graph.thread_events(tid)
+        for i, a in enumerate(events):
+            la = graph.label(a)
+            if not la.is_access:
+                continue
+            for b in events[i + 1:]:
+                lb = graph.label(b)
+                if lb.is_access and lb.location == la.location:
+                    rel.add(a, b)
+    return rel
+
+
+@graph_cached
+def rf(graph: ExecutionGraph) -> Relation:
+    return Relation((w, r) for r, w in graph.rf_map().items())
+
+
+@graph_cached
+def rfe(graph: ExecutionGraph) -> Relation:
+    return Relation(
+        (w, r) for r, w in graph.rf_map().items() if not same_thread(w, r)
+    )
+
+
+@graph_cached
+def rfi(graph: ExecutionGraph) -> Relation:
+    return Relation(
+        (w, r) for r, w in graph.rf_map().items() if same_thread(w, r)
+    )
+
+
+@graph_cached
+def co(graph: ExecutionGraph) -> Relation:
+    rel = Relation()
+    for loc in graph.locations():
+        order = graph.co_order(loc)
+        for i, a in enumerate(order):
+            for b in order[i + 1:]:
+                rel.add(a, b)
+    return rel
+
+
+@graph_cached
+def co_imm(graph: ExecutionGraph) -> Relation:
+    rel = Relation()
+    for loc in graph.locations():
+        order = graph.co_order(loc)
+        for a, b in zip(order, order[1:]):
+            rel.add(a, b)
+    return rel
+
+
+@graph_cached
+def fr(graph: ExecutionGraph) -> Relation:
+    """From-read: read r is fr-before every write coherence-after rf(r)."""
+    rel = Relation()
+    for read, src in graph.rf_map().items():
+        loc = graph.label(read).location
+        order = graph.co_order(loc)  # type: ignore[arg-type]
+        after = order[order.index(src) + 1:]
+        for w in after:
+            if w != read:
+                rel.add(read, w)
+    return rel
+
+
+def external(rel: Relation) -> Relation:
+    return Relation((a, b) for a, b in rel.pairs() if not same_thread(a, b))
+
+
+def internal(rel: Relation) -> Relation:
+    return Relation((a, b) for a, b in rel.pairs() if same_thread(a, b))
+
+
+@graph_cached
+def eco(graph: ExecutionGraph) -> Relation:
+    """Extended coherence order: (rf | co | fr)+."""
+    return union(rf(graph), co(graph), fr(graph)).transitive_closure()
+
+
+@graph_cached
+def rmw_pairs(graph: ExecutionGraph) -> Relation:
+    """Exclusive read -> its exclusive write."""
+    rel = Relation()
+    for ev in graph.events():
+        lab = graph.label(ev)
+        if isinstance(lab, ReadLabel) and lab.exclusive:
+            partner = graph.exclusive_pair(ev)
+            if partner is not None:
+                rel.add(ev, partner)
+    return rel
+
+
+def dependency(graph: ExecutionGraph, kinds: str = "adc") -> Relation:
+    """Syntactic dependency edges recorded on labels.
+
+    ``kinds`` selects which: ``a``\\ ddr, ``d``\\ ata, ``c``\\ trl.
+    """
+    rel = Relation()
+    for ev in graph.events():
+        lab = graph.label(ev)
+        if "a" in kinds:
+            for dep in lab.addr_deps:
+                rel.add(dep, ev)
+        if "d" in kinds:
+            for dep in lab.data_deps:
+                rel.add(dep, ev)
+        if "c" in kinds:
+            for dep in lab.ctrl_deps:
+                rel.add(dep, ev)
+    return rel
+
+
+# -- event-set helpers -------------------------------------------------------
+
+
+def reads(graph: ExecutionGraph) -> list[Event]:
+    return [e for e in graph.events() if isinstance(graph.label(e), ReadLabel)]
+
+
+def writes(graph: ExecutionGraph) -> list[Event]:
+    return [e for e in graph.events() if isinstance(graph.label(e), WriteLabel)]
+
+
+def fences(graph: ExecutionGraph) -> list[Event]:
+    return [e for e in graph.events() if isinstance(graph.label(e), FenceLabel)]
+
+
+def accesses(graph: ExecutionGraph) -> list[Event]:
+    return [e for e in graph.events() if graph.label(e).is_access]
+
+
+def is_read(graph: ExecutionGraph, e: Event) -> bool:
+    return isinstance(graph.label(e), ReadLabel)
+
+
+def is_write(graph: ExecutionGraph, e: Event) -> bool:
+    return isinstance(graph.label(e), WriteLabel)
+
+
+def label_of(graph: ExecutionGraph, e: Event) -> Label:
+    return graph.label(e)

@@ -1,0 +1,67 @@
+"""Canonical forms of execution graphs.
+
+Two complete execution graphs describe the same behaviour iff they have
+the same events with the same labels, the same reads-from map, and the
+same per-location coherence orders.  :func:`canonical_key` turns a
+graph into a hashable value with exactly that equality, which the
+explorer uses (a) to assert optimality for porf-acyclic models and
+(b) to suppress residual duplicates for load-buffering-capable models.
+"""
+
+from __future__ import annotations
+
+from ..events import Event
+from .graph import ExecutionGraph
+
+
+def _event_key(graph: ExecutionGraph, ev: Event):
+    """Identity of an event that is stable across construction orders:
+    initialisation writes are named by location, not by creation slot."""
+    if ev.is_initial:
+        return ("init", graph.label(ev).location)
+    return (ev.tid, ev.index)
+
+
+def canonical_key(graph: ExecutionGraph) -> tuple:
+    """A hashable canonical form of the graph's behaviour.
+
+    Locations that were never written (beyond initialisation) carry no
+    coherence information and are omitted, so graphs built by different
+    front ends (explorer vs brute force) compare equal.
+    """
+    threads = []
+    for tid in graph.thread_ids():
+        rows = []
+        for ev in graph.thread_events(tid):
+            lab = graph.label(ev)
+            rf = _event_key(graph, graph.rf(ev)) if lab.is_read else None
+            rows.append((repr(lab), rf))
+        threads.append((tid, tuple(rows)))
+    co = tuple(
+        (loc, tuple(_event_key(graph, w) for w in order))
+        for loc in graph.locations()
+        for order in [
+            [w for w in graph.co_order(loc) if not w.is_initial]
+        ]
+        if order
+    )
+    return (tuple(threads), co)
+
+
+def rf_key(graph: ExecutionGraph) -> tuple:
+    """Canonical form ignoring coherence (useful for rf-equivalence)."""
+    threads, _co = canonical_key(graph)
+    return threads
+
+
+def final_state(graph: ExecutionGraph) -> tuple[tuple[str, int], ...]:
+    """Final memory state: the coherence-last written value for every
+    location that was actually written (untouched locations carry no
+    information and are omitted), as a sorted hashable tuple."""
+    return tuple(
+        sorted(
+            (loc, graph.final_value(loc))
+            for loc in graph.locations()
+            if any(not w.is_initial for w in graph.co_order(loc))
+        )
+    )

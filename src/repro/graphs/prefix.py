@@ -1,0 +1,91 @@
+"""Prefix closures and revisit restriction.
+
+Two different closures matter for exploration:
+
+* the **causal prefix** of an event decides which reads a newly added
+  write may *backward-revisit* (a read inside the prefix can never be
+  revisited: the write's existence already depends on it).  Which edges
+  enter this closure is *model-specific*: porf (po ∪ rf) for
+  porf-acyclic models, a dependency-based relation for hardware models
+  — this distinction is the heart of HMC;
+
+* the **replay closure** decides which events survive a revisit: the
+  kept graph must contain every po-predecessor and every rf source of a
+  kept event so that threads can deterministically re-execute it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from ..events import Event
+from .graph import ExecutionGraph
+
+#: Maps an event to the events that must causally precede it.
+PredFn = Callable[[ExecutionGraph, Event], Iterable[Event]]
+
+
+def closure(
+    graph: ExecutionGraph, roots: Iterable[Event], preds: PredFn
+) -> set[Event]:
+    """The set of events reachable from ``roots`` going backwards
+    through ``preds`` (roots included)."""
+    out: set[Event] = set()
+    stack = list(roots)
+    while stack:
+        ev = stack.pop()
+        if ev in out:
+            continue
+        out.add(ev)
+        stack.extend(p for p in preds(graph, ev) if p not in out)
+    return out
+
+
+def porf_preds(graph: ExecutionGraph, ev: Event) -> list[Event]:
+    """Predecessors under po ∪ rf (the GenMC causal prefix)."""
+    out: list[Event] = []
+    prev = ev.po_prev()
+    if prev is not None and prev in graph:
+        out.append(prev)
+    if graph.label(ev).is_read:
+        src = graph.rf(ev)
+        if not src.is_initial:
+            out.append(src)
+    return out
+
+
+def porf_prefix(graph: ExecutionGraph, ev: Event) -> set[Event]:
+    return closure(graph, [ev], porf_preds)
+
+
+def replay_closure(graph: ExecutionGraph, roots: Iterable[Event]) -> set[Event]:
+    """Closure under po-predecessor and rf-source: the smallest
+    restriction containing ``roots`` that threads can re-execute."""
+    return closure(graph, roots, porf_preds)
+
+
+def revisit_kept_set(
+    graph: ExecutionGraph, write: Event, read: Event
+) -> set[Event]:
+    """Events surviving a backward revisit of ``read`` by ``write``.
+
+    Following GenMC/HMC, the restricted graph keeps (a) everything added
+    no later than the read and (b) the replay closure of the revisiting
+    write; everything else — events added after the read that the write
+    does not causally need — is deleted and will be re-executed.
+    """
+    read_stamp = graph.stamp(read)
+    roots = [e for e in graph.events() if graph.stamp(e) <= read_stamp]
+    roots.append(write)
+    # The whole kept set must be closed under po-predecessor and
+    # rf-source: after earlier revisits a low-stamp read may legally
+    # read from a higher-stamp write, which must then survive too.
+    return replay_closure(graph, roots)
+
+
+def deleted_set(
+    graph: ExecutionGraph, write: Event, read: Event
+) -> set[Event]:
+    """The events a backward revisit of ``read`` by ``write`` removes."""
+    kept = revisit_kept_set(graph, write, read)
+    return {e for e in graph.events() if e not in kept}

@@ -1,0 +1,226 @@
+"""Fluent construction of concurrent programs.
+
+Example — the store-buffering litmus test::
+
+    p = ProgramBuilder("SB")
+    t1 = p.thread()
+    t1.store("x", 1)
+    a = t1.load("y")
+    t2 = p.thread()
+    t2.store("y", 1)
+    b = t2.load("x")
+    p.observe(a, b)
+    program = p.build()
+
+Structured control flow takes builder callbacks::
+
+    t.if_(a.eq(0), lambda b: b.store("z", 1))
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..events import FenceKind, MemOrder
+from .expr import Expr, ExprLike, Reg, lift
+from .program import Program
+from .stmt import (
+    Assert,
+    Assign,
+    Assume,
+    Cas,
+    Fai,
+    Fence,
+    If,
+    Load,
+    LocExpr,
+    Repeat,
+    Stmt,
+    Store,
+    Xchg,
+    loc,
+)
+
+LocLike = "str | tuple[str, ExprLike] | LocExpr"
+BlockFn = Callable[["BlockBuilder"], None]
+
+
+class BlockBuilder:
+    """Builds a straight-line block of statements; thread builders and
+    if/loop bodies all share this vocabulary."""
+
+    def __init__(self, thread: "ThreadBuilder") -> None:
+        self._thread = thread
+        self._stmts: list[Stmt] = []
+
+    # -- registers -------------------------------------------------------
+
+    def fresh_reg(self, hint: str = "r") -> Reg:
+        return self._thread._fresh_reg(hint)
+
+    # -- memory accesses ----------------------------------------------------
+
+    def load(
+        self, location: LocLike, order: MemOrder = MemOrder.RLX, into: Reg | None = None
+    ) -> Reg:
+        reg = into or self.fresh_reg()
+        self._stmts.append(Load(reg.name, loc(location), order))
+        return reg
+
+    def store(
+        self, location: LocLike, value: ExprLike, order: MemOrder = MemOrder.RLX
+    ) -> "BlockBuilder":
+        self._stmts.append(Store(loc(location), lift(value), order))
+        return self
+
+    def cas(
+        self,
+        location: LocLike,
+        expected: ExprLike,
+        desired: ExprLike,
+        order: MemOrder = MemOrder.RLX,
+        old_into: Reg | None = None,
+    ) -> Reg:
+        """Returns a register holding 1 on success, 0 on failure."""
+        reg = self.fresh_reg("ok")
+        self._stmts.append(
+            Cas(
+                reg.name,
+                loc(location),
+                lift(expected),
+                lift(desired),
+                order,
+                old_reg=old_into.name if old_into else None,
+            )
+        )
+        return reg
+
+    def fai(
+        self, location: LocLike, delta: ExprLike = 1, order: MemOrder = MemOrder.RLX
+    ) -> Reg:
+        """Fetch-and-add; returns a register holding the old value."""
+        reg = self.fresh_reg("old")
+        self._stmts.append(Fai(reg.name, loc(location), lift(delta), order))
+        return reg
+
+    def xchg(
+        self, location: LocLike, value: ExprLike, order: MemOrder = MemOrder.RLX
+    ) -> Reg:
+        reg = self.fresh_reg("old")
+        self._stmts.append(Xchg(reg.name, loc(location), lift(value), order))
+        return reg
+
+    def fence(
+        self, kind: FenceKind = FenceKind.SYNC, order: MemOrder = MemOrder.SC
+    ) -> "BlockBuilder":
+        self._stmts.append(Fence(kind, order))
+        return self
+
+    # -- local computation ----------------------------------------------------
+
+    def assign(self, reg: Reg, value: ExprLike) -> "BlockBuilder":
+        self._stmts.append(Assign(reg.name, lift(value)))
+        return self
+
+    # -- control flow ------------------------------------------------------------
+
+    def if_(
+        self, cond: Expr, then: BlockFn, orelse: BlockFn | None = None
+    ) -> "BlockBuilder":
+        then_block = BlockBuilder(self._thread)
+        then(then_block)
+        else_block = BlockBuilder(self._thread)
+        if orelse is not None:
+            orelse(else_block)
+        self._stmts.append(
+            If(cond, tuple(then_block._stmts), tuple(else_block._stmts))
+        )
+        return self
+
+    def repeat(self, count: int, body: BlockFn) -> "BlockBuilder":
+        block = BlockBuilder(self._thread)
+        body(block)
+        self._stmts.append(Repeat(count, tuple(block._stmts)))
+        return self
+
+    def assume(self, cond: Expr) -> "BlockBuilder":
+        self._stmts.append(Assume(cond))
+        return self
+
+    def assert_(self, cond: Expr, message: str = "assertion failed") -> "BlockBuilder":
+        self._stmts.append(Assert(cond, message))
+        return self
+
+    # -- idioms -----------------------------------------------------------------
+
+    def await_eq(
+        self, location: LocLike, value: ExprLike, order: MemOrder = MemOrder.RLX
+    ) -> Reg:
+        """Spin until the location holds ``value`` (SMC encoding: load
+        then assume — other executions are reported as blocked)."""
+        reg = self.load(location, order)
+        self.assume(reg.eq(value))
+        return reg
+
+
+class ThreadBuilder(BlockBuilder):
+    """Builds one thread; create via :meth:`ProgramBuilder.thread`."""
+
+    def __init__(self, program: "ProgramBuilder", tid: int) -> None:
+        self._program = program
+        self.tid = tid
+        self._reg_counter = 0
+        super().__init__(self)
+
+    def _fresh_reg(self, hint: str = "r") -> Reg:
+        name = f"t{self.tid}.{hint}{self._reg_counter}"
+        self._reg_counter += 1
+        return Reg(name)
+
+
+class ProgramBuilder:
+    """Accumulates threads and observables into a :class:`Program`."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._threads: list[ThreadBuilder] = []
+        self._observables: list[tuple[int, str]] = []
+
+    def thread(self) -> ThreadBuilder:
+        builder = ThreadBuilder(self, len(self._threads))
+        self._threads.append(builder)
+        return builder
+
+    def observe(self, *regs: Reg) -> "ProgramBuilder":
+        """Mark registers as observable.  Each register is attributed to
+        the (unique) thread that assigns it."""
+        for reg in regs:
+            owner = None
+            for t in self._threads:
+                if _assigns(t._stmts, reg.name):
+                    owner = t.tid
+                    break
+            if owner is None:
+                raise ValueError(f"no thread assigns register {reg.name!r}")
+            self._observables.append((owner, reg.name))
+        return self
+
+    def build(self) -> Program:
+        return Program(
+            name=self.name,
+            threads=tuple(tuple(t._stmts) for t in self._threads),
+            observables=tuple(self._observables),
+        )
+
+
+def _assigns(stmts: list[Stmt] | tuple[Stmt, ...], reg: str) -> bool:
+    for st in stmts:
+        if isinstance(st, (Load, Cas, Fai, Xchg, Assign)) and st.reg == reg:
+            return True
+        if isinstance(st, Cas) and st.old_reg == reg:
+            return True
+        if isinstance(st, If) and (_assigns(st.then, reg) or _assigns(st.orelse, reg)):
+            return True
+        if isinstance(st, Repeat) and _assigns(st.body, reg):
+            return True
+    return False

@@ -1,0 +1,176 @@
+"""Expressions of the concurrent register-machine DSL.
+
+Expressions are pure: they read registers, never memory.  Evaluation
+returns both a value and a *taint* — the set of read events whose
+values flowed into the result — which is how the interpreter derives
+the syntactic addr/data/ctrl dependencies hardware models need.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Callable, Union
+
+from ..events import Event, Value
+
+ExprLike = Union["Expr", int]
+
+_BINOPS: dict[str, Callable[[int, int], int]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "//": operator.floordiv,
+    "%": operator.mod,
+    "&": operator.and_,
+    "|": operator.or_,
+    "^": operator.xor,
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+    "<": lambda a, b: int(a < b),
+    "<=": lambda a, b: int(a <= b),
+    ">": lambda a, b: int(a > b),
+    ">=": lambda a, b: int(a >= b),
+    "&&": lambda a, b: int(bool(a) and bool(b)),
+    "||": lambda a, b: int(bool(a) or bool(b)),
+}
+
+
+class EvalError(Exception):
+    """Raised on use of an unset register or a bad operator."""
+
+
+@dataclass(frozen=True)
+class Tainted:
+    """A value together with the reads it depends on."""
+
+    value: Value
+    taint: frozenset[Event]
+
+
+class Expr:
+    """Base expression; supports arithmetic operators and comparison
+    *methods* (``.eq``, ``.ne``, ...) so that Python's ``==`` keeps its
+    usual meaning on expression objects."""
+
+    def evaluate(self, env: dict[str, Tainted]) -> Tainted:
+        raise NotImplementedError
+
+    # arithmetic sugar -------------------------------------------------
+    def __add__(self, other: ExprLike) -> "Expr":
+        return BinOp("+", self, lift(other))
+
+    def __radd__(self, other: ExprLike) -> "Expr":
+        return BinOp("+", lift(other), self)
+
+    def __sub__(self, other: ExprLike) -> "Expr":
+        return BinOp("-", self, lift(other))
+
+    def __rsub__(self, other: ExprLike) -> "Expr":
+        return BinOp("-", lift(other), self)
+
+    def __mul__(self, other: ExprLike) -> "Expr":
+        return BinOp("*", self, lift(other))
+
+    def __mod__(self, other: ExprLike) -> "Expr":
+        return BinOp("%", self, lift(other))
+
+    def __floordiv__(self, other: ExprLike) -> "Expr":
+        return BinOp("//", self, lift(other))
+
+    def __and__(self, other: ExprLike) -> "Expr":
+        return BinOp("&", self, lift(other))
+
+    def __or__(self, other: ExprLike) -> "Expr":
+        return BinOp("|", self, lift(other))
+
+    def __xor__(self, other: ExprLike) -> "Expr":
+        return BinOp("^", self, lift(other))
+
+    # comparison combinators --------------------------------------------
+    def eq(self, other: ExprLike) -> "Expr":
+        return BinOp("==", self, lift(other))
+
+    def ne(self, other: ExprLike) -> "Expr":
+        return BinOp("!=", self, lift(other))
+
+    def lt(self, other: ExprLike) -> "Expr":
+        return BinOp("<", self, lift(other))
+
+    def le(self, other: ExprLike) -> "Expr":
+        return BinOp("<=", self, lift(other))
+
+    def gt(self, other: ExprLike) -> "Expr":
+        return BinOp(">", self, lift(other))
+
+    def ge(self, other: ExprLike) -> "Expr":
+        return BinOp(">=", self, lift(other))
+
+    def and_(self, other: ExprLike) -> "Expr":
+        return BinOp("&&", self, lift(other))
+
+    def or_(self, other: ExprLike) -> "Expr":
+        return BinOp("||", self, lift(other))
+
+
+class Const(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Value) -> None:
+        self.value = value
+
+    def evaluate(self, env: dict[str, Tainted]) -> Tainted:
+        return Tainted(self.value, frozenset())
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+class Reg(Expr):
+    """A named thread-local register."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def evaluate(self, env: dict[str, Tainted]) -> Tainted:
+        try:
+            return env[self.name]
+        except KeyError:
+            raise EvalError(f"register {self.name!r} used before assignment")
+
+    def __repr__(self) -> str:
+        return f"${self.name}"
+
+
+class BinOp(Expr):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in _BINOPS:
+            raise EvalError(f"unknown operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, env: dict[str, Tainted]) -> Tainted:
+        lhs = self.left.evaluate(env)
+        rhs = self.right.evaluate(env)
+        return Tainted(
+            _BINOPS[self.op](lhs.value, rhs.value), lhs.taint | rhs.taint
+        )
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+def lift(value: ExprLike) -> Expr:
+    """Coerce Python ints to :class:`Const`."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):  # guard against accidental bools
+        return Const(int(value))
+    if isinstance(value, int):
+        return Const(value)
+    raise EvalError(f"cannot use {value!r} as an expression")

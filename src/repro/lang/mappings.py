@@ -1,0 +1,163 @@
+"""Compilation mappings: C11-annotated programs to ISA programs.
+
+The standard fence-insertion schemes that compilers use to implement
+C11 atomics on each architecture (the mappings whose correctness the
+IMM line of work exists to prove):
+
+* **x86**: accesses map to plain ones (TSO is strong enough); an SC
+  store is followed by MFENCE; SC fences become MFENCE.
+* **POWER**: acquire loads get a ctrl+isync (approximated by an isync
+  barrier after the load), release stores a leading lwsync, SC
+  accesses leading sync (+ isync for loads); acq/rel fences become
+  lwsync, SC fences sync.
+* **ARMv8**: rel/acq/sc accesses map natively to stlr/ldar (the
+  identity on annotations); C11 fences become dmb.
+
+Applying a mapping and re-verifying under the *target* hardware model
+turns compilation soundness into a checkable statement:
+
+    behaviours(compile(P), target-model) ⊆ behaviours(P, rc11)
+
+which `tests/test_mappings.py` asserts over the litmus corpus.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from ..events import FenceKind, MemOrder
+from .program import Program
+from .stmt import Assert, Assign, Assume, Cas, Fai, Fence, If, Load, Repeat, Stmt, Store, Xchg
+
+#: a mapping turns one statement into a sequence of statements
+StmtMapping = Callable[[Stmt], Iterable[Stmt]]
+
+
+def _relax(stmt: Stmt, **changes) -> Stmt:
+    """A copy of an access statement with order RLX (plus changes)."""
+    import dataclasses
+
+    return dataclasses.replace(stmt, order=MemOrder.RLX, **changes)
+
+
+# -- x86 -----------------------------------------------------------------
+
+
+def _to_x86(stmt: Stmt) -> Iterable[Stmt]:
+    if isinstance(stmt, Store):
+        if stmt.order.is_sc():
+            return [_relax(stmt), Fence(FenceKind.MFENCE)]
+        return [_relax(stmt)]
+    if isinstance(stmt, Load):
+        return [_relax(stmt)]
+    if isinstance(stmt, (Cas, Fai, Xchg)):
+        return [_relax(stmt)]  # locked instructions are already fences
+    if isinstance(stmt, Fence) and stmt.kind is FenceKind.C11:
+        if stmt.order.is_sc():
+            return [Fence(FenceKind.MFENCE)]
+        return []  # acq/rel fences are free on TSO
+    return [stmt]
+
+
+# -- POWER ------------------------------------------------------------------
+
+
+def _to_power(stmt: Stmt) -> Iterable[Stmt]:
+    if isinstance(stmt, Load):
+        out: list[Stmt] = []
+        if stmt.order.is_sc():
+            out.append(Fence(FenceKind.SYNC))
+        out.append(_relax(stmt))
+        if stmt.order.is_acquire():
+            out.append(Fence(FenceKind.ISYNC))  # the ctrl+isync idiom
+        return out
+    if isinstance(stmt, Store):
+        out = []
+        if stmt.order.is_sc():
+            out.append(Fence(FenceKind.SYNC))
+        elif stmt.order.is_release():
+            out.append(Fence(FenceKind.LWSYNC))
+        out.append(_relax(stmt))
+        return out
+    if isinstance(stmt, (Cas, Fai, Xchg)):
+        out = []
+        if stmt.order.is_sc():
+            out.append(Fence(FenceKind.SYNC))
+        elif stmt.order.is_release():
+            out.append(Fence(FenceKind.LWSYNC))
+        out.append(_relax(stmt))
+        if stmt.order.is_acquire():
+            out.append(Fence(FenceKind.ISYNC))
+        return out
+    if isinstance(stmt, Fence) and stmt.kind is FenceKind.C11:
+        if stmt.order.is_sc():
+            return [Fence(FenceKind.SYNC)]
+        return [Fence(FenceKind.LWSYNC)]
+    return [stmt]
+
+
+# -- ARMv8 ----------------------------------------------------------------------
+
+
+def _to_armv8(stmt: Stmt) -> Iterable[Stmt]:
+    if isinstance(stmt, Fence) and stmt.kind is FenceKind.C11:
+        if stmt.order is MemOrder.ACQ:
+            return [Fence(FenceKind.DMB_LD)]
+        return [Fence(FenceKind.SYNC)]  # dmb sy for rel/acq_rel/sc
+    # accesses map natively: ldar/stlr/ldaxr... carry the annotation
+    return [stmt]
+
+
+_MAPPINGS: dict[str, StmtMapping] = {
+    "tso": _to_x86,
+    "power": _to_power,
+    "armv8": _to_armv8,
+}
+
+
+def _map_block(stmts: tuple[Stmt, ...], mapping: StmtMapping) -> tuple[Stmt, ...]:
+    out: list[Stmt] = []
+    for stmt in stmts:
+        if isinstance(stmt, If):
+            import dataclasses
+
+            out.append(
+                dataclasses.replace(
+                    stmt,
+                    then=_map_block(stmt.then, mapping),
+                    orelse=_map_block(stmt.orelse, mapping),
+                )
+            )
+        elif isinstance(stmt, Repeat):
+            import dataclasses
+
+            out.append(
+                dataclasses.replace(stmt, body=_map_block(stmt.body, mapping))
+            )
+        elif isinstance(stmt, (Assign, Assume, Assert)):
+            out.append(stmt)
+        else:
+            out.extend(mapping(stmt))
+    return tuple(out)
+
+
+def compile_to(program: Program, target: str) -> Program:
+    """Apply the standard C11 -> ``target`` compilation mapping.
+
+    ``target`` is a hardware model name: ``"tso"``, ``"power"`` or
+    ``"armv8"``.  The result should be verified under that model.
+    """
+    try:
+        mapping = _MAPPINGS[target]
+    except KeyError:
+        known = ", ".join(sorted(_MAPPINGS))
+        raise KeyError(f"no mapping for {target!r}; known: {known}") from None
+    return Program(
+        name=f"{program.name}@{target}",
+        threads=tuple(_map_block(t, mapping) for t in program.threads),
+        observables=program.observables,
+    )
+
+
+def mapping_targets() -> list[str]:
+    return sorted(_MAPPINGS)

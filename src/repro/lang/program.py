@@ -1,0 +1,68 @@
+"""Programs: named collections of threads plus observed registers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .stmt import Assume, Assert, Cas, Fai, If, Load, Repeat, Stmt, Store, Xchg
+
+
+@dataclass(frozen=True)
+class Program:
+    """An immutable concurrent program.
+
+    ``observables`` names the per-thread registers whose final values
+    constitute the program's *outcome* (litmus-test style).
+    """
+
+    name: str
+    threads: tuple[tuple[Stmt, ...], ...]
+    observables: tuple[tuple[int, str], ...] = field(default_factory=tuple)
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.threads)
+
+    def location_bases(self) -> list[str]:
+        """All statically known location base names."""
+        bases: set[str] = set()
+
+        def scan(stmts: tuple[Stmt, ...]) -> None:
+            for st in stmts:
+                if isinstance(st, (Load, Store, Cas, Fai, Xchg)):
+                    bases.add(st.loc.base)
+                elif isinstance(st, If):
+                    scan(st.then)
+                    scan(st.orelse)
+                elif isinstance(st, Repeat):
+                    scan(st.body)
+
+        for thread in self.threads:
+            scan(thread)
+        return sorted(bases)
+
+    def max_events_estimate(self) -> int:
+        """A (loose) upper bound on events per execution, for sanity
+        checks and progress reporting."""
+
+        def count(stmts: tuple[Stmt, ...]) -> int:
+            total = 0
+            for st in stmts:
+                if isinstance(st, (Load, Store)):
+                    total += 1
+                elif isinstance(st, (Cas, Fai, Xchg)):
+                    total += 2
+                elif isinstance(st, If):
+                    total += max(count(st.then), count(st.orelse))
+                elif isinstance(st, Repeat):
+                    total += st.count * count(st.body)
+                elif isinstance(st, (Assume, Assert)):
+                    pass
+                else:
+                    total += 1
+            return total
+
+        return sum(count(t) for t in self.threads)
+
+    def __repr__(self) -> str:
+        return f"<Program {self.name!r}, {self.num_threads} threads>"

@@ -1,0 +1,21 @@
+"""The litmus-test corpus, expected verdicts, and runner."""
+
+from .catalog import LitmusTest, all_litmus_tests, get_litmus, litmus_names
+from .expectations import ALLOWED, MODELS, allowed, expected_tests
+from .parser import LitmusParseError, parse_litmus
+from .runner import LitmusVerdict, run_litmus
+
+__all__ = [
+    "ALLOWED",
+    "LitmusTest",
+    "LitmusVerdict",
+    "MODELS",
+    "all_litmus_tests",
+    "allowed",
+    "expected_tests",
+    "get_litmus",
+    "litmus_names",
+    "parse_litmus",
+    "LitmusParseError",
+    "run_litmus",
+]

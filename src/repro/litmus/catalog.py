@@ -1,0 +1,510 @@
+"""The classic litmus tests, as DSL programs.
+
+Each entry is a :class:`LitmusTest`: a program, the *interesting
+outcome* (the relaxed behaviour the test probes, as a predicate over
+observed register values), and the per-model verdicts recorded in
+:mod:`repro.litmus.expectations`.
+
+Naming follows the herd/diy conventions: SB (store buffering), MP
+(message passing), LB (load buffering), IRIW (independent reads of
+independent writes), and the Co* coherence shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..events import FenceKind, MemOrder
+from ..lang import Program, ProgramBuilder
+
+#: observed register values keyed by "reg@tid"
+Observation = dict[str, int]
+
+
+@dataclass(frozen=True)
+class LitmusTest:
+    name: str
+    program: Program
+    #: does this observation exhibit the probed relaxed behaviour?
+    interesting: Callable[[Observation], bool]
+    description: str = ""
+
+
+_REGISTRY: dict[str, LitmusTest] = {}
+
+
+def litmus(name: str):
+    """Decorator: register a litmus-test constructor."""
+
+    def wrap(fn: Callable[[], LitmusTest]) -> Callable[[], LitmusTest]:
+        test = fn()
+        if test.name != name:  # pragma: no cover - defensive
+            raise ValueError(f"litmus name mismatch: {test.name} != {name}")
+        _REGISTRY[name] = test
+        return fn
+
+    return wrap
+
+
+def get_litmus(name: str) -> LitmusTest:
+    return _REGISTRY[name]
+
+
+def litmus_names() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def all_litmus_tests() -> list[LitmusTest]:
+    return [_REGISTRY[n] for n in litmus_names()]
+
+
+def _obs(outcome) -> Observation:
+    return dict(outcome)
+
+
+# ---------------------------------------------------------------------------
+# store buffering
+
+
+def _sb(name: str, fence: FenceKind | None, order: MemOrder = MemOrder.RLX):
+    p = ProgramBuilder(name)
+    regs = []
+    for locs in (("x", "y"), ("y", "x")):
+        t = p.thread()
+        t.store(locs[0], 1, order)
+        if fence is not None:
+            t.fence(fence)
+        regs.append(t.load(locs[1], order))
+    p.observe(*regs)
+    a, b = regs
+    return LitmusTest(
+        name,
+        p.build(),
+        lambda o, s, a=a.name, b=b.name: o[f"{a}@0"] == 0 and o[f"{b}@1"] == 0,
+        "can both threads miss the other's store?",
+    )
+
+
+@litmus("SB")
+def sb() -> LitmusTest:
+    return _sb("SB", None)
+
+
+@litmus("SB+fences")
+def sb_fences() -> LitmusTest:
+    return _sb("SB+fences", FenceKind.SYNC)
+
+
+@litmus("SB+lwsyncs")
+def sb_lwsyncs() -> LitmusTest:
+    return _sb("SB+lwsyncs", FenceKind.LWSYNC)
+
+
+@litmus("SB+sc")
+def sb_sc() -> LitmusTest:
+    return _sb("SB+sc", None, MemOrder.SC)
+
+
+@litmus("SB+dmbsts")
+def sb_dmbsts() -> LitmusTest:
+    # a store-store barrier cannot fix store buffering
+    return _sb("SB+dmbsts", FenceKind.DMB_ST)
+
+
+# ---------------------------------------------------------------------------
+# message passing
+
+
+def _mp(
+    name: str,
+    writer_fence: FenceKind | None = None,
+    reader_fence: FenceKind | None = None,
+    write_order: MemOrder = MemOrder.RLX,
+    read_order: MemOrder = MemOrder.RLX,
+    reader_dep: str | None = None,
+):
+    p = ProgramBuilder(name)
+    t1 = p.thread()
+    t1.store(("d", 0), 1)  # d[0], so address-dependent readers hit it
+    if writer_fence is not None:
+        t1.fence(writer_fence)
+    t1.store("f", 1, write_order)
+    t2 = p.thread()
+    a = t2.load("f", read_order)
+    if reader_fence is not None:
+        t2.fence(reader_fence)
+    if reader_dep == "addr":
+        # address-dependent read of d[a - a] == d[0]
+        b = t2.load(("d", a - a))
+    elif reader_dep == "ctrl":
+        b = t2.fresh_reg()
+        t2.assign(b, 0)
+        t2.if_(a.eq(1), lambda blk: blk.load(("d", 0), into=b))
+        # observation below treats b as the data read (0 when skipped)
+    else:
+        b = t2.load(("d", 0))
+    p.observe(a, b)
+    return LitmusTest(
+        name,
+        p.build(),
+        lambda o, s, a=a.name, b=b.name: o[f"{a}@1"] == 1 and o[f"{b}@1"] == 0,
+        "can the reader see the flag but stale data?",
+    )
+
+
+@litmus("MP")
+def mp() -> LitmusTest:
+    return _mp("MP")
+
+
+@litmus("MP+fences")
+def mp_fences() -> LitmusTest:
+    return _mp("MP+fences", FenceKind.SYNC, FenceKind.SYNC)
+
+
+@litmus("MP+lwsyncs")
+def mp_lwsyncs() -> LitmusTest:
+    return _mp("MP+lwsyncs", FenceKind.LWSYNC, FenceKind.LWSYNC)
+
+
+@litmus("MP+rel+acq")
+def mp_rel_acq() -> LitmusTest:
+    return _mp(
+        "MP+rel+acq", write_order=MemOrder.REL, read_order=MemOrder.ACQ
+    )
+
+
+@litmus("MP+lwsync+addr")
+def mp_lwsync_addr() -> LitmusTest:
+    return _mp("MP+lwsync+addr", FenceKind.LWSYNC, reader_dep="addr")
+
+
+@litmus("MP+dmbst+ctrl")
+def mp_dmbst_ctrl() -> LitmusTest:
+    return _mp("MP+dmbst+ctrl", FenceKind.DMB_ST, reader_dep="ctrl")
+
+
+@litmus("MP+dmbld")
+def mp_dmbld() -> LitmusTest:
+    # only the reader is fenced: the writer's W->W reordering still
+    # breaks message passing on every model that relaxes W->W
+    return _mp("MP+dmbld", None, FenceKind.DMB_LD)
+
+
+# ---------------------------------------------------------------------------
+# load buffering
+
+
+def _lb(name: str, dep: str | None):
+    p = ProgramBuilder(name)
+    regs = []
+    for locs in (("x", "y"), ("y", "x")):
+        t = p.thread()
+        r = t.load(locs[0])
+        if dep == "data":
+            t.store(locs[1], r - r + 1)  # data-dependent, still writes 1
+        elif dep == "fence":
+            t.fence(FenceKind.SYNC)
+            t.store(locs[1], 1)
+        else:
+            t.store(locs[1], 1)
+        regs.append(r)
+    p.observe(*regs)
+    a, b = regs
+    return LitmusTest(
+        name,
+        p.build(),
+        lambda o, s, a=a.name, b=b.name: o[f"{a}@0"] == 1 and o[f"{b}@1"] == 1,
+        "can both loads see the other thread's later store?",
+    )
+
+
+@litmus("LB")
+def lb() -> LitmusTest:
+    return _lb("LB", None)
+
+
+@litmus("LB+datas")
+def lb_datas() -> LitmusTest:
+    return _lb("LB+datas", "data")
+
+
+@litmus("LB+fences")
+def lb_fences() -> LitmusTest:
+    return _lb("LB+fences", "fence")
+
+
+@litmus("LB+ctrls")
+def lb_ctrls() -> LitmusTest:
+    """Both stores are control-dependent on the loads: observing
+    (1, 1) would need the values to appear out of thin air — no model
+    (and no stateless checker) can produce it."""
+    p = ProgramBuilder("LB+ctrls")
+    regs = []
+    for locs in (("x", "y"), ("y", "x")):
+        t = p.thread()
+        r = t.load(locs[0])
+        t.if_(r.eq(1), lambda b, dst=locs[1]: b.store(dst, 1))
+        regs.append(r)
+    p.observe(*regs)
+    a, b = regs
+    return LitmusTest(
+        "LB+ctrls",
+        p.build(),
+        lambda o, s, a=a.name, b=b.name: o[f"{a}@0"] == 1 and o[f"{b}@1"] == 1,
+        "control-dependent LB: out-of-thin-air values",
+    )
+
+
+@litmus("CoRW2")
+def corw2() -> LitmusTest:
+    p = ProgramBuilder("CoRW2")
+    t1 = p.thread()
+    a = t1.load("x")
+    t1.store("x", 2)
+    t2 = p.thread()
+    b = t2.load("x")
+    t2.store("x", 1)
+    p.observe(a, b)
+    return LitmusTest(
+        "CoRW2",
+        p.build(),
+        lambda o, s, a=a.name, b=b.name: o[f"{a}@0"] == 1 and o[f"{b}@1"] == 2,
+        "cross-thread read/write coherence cycle",
+    )
+
+
+# ---------------------------------------------------------------------------
+# independent reads of independent writes
+
+
+def _iriw(name: str, fence: FenceKind | None, order: MemOrder = MemOrder.RLX):
+    p = ProgramBuilder(name)
+    w1 = p.thread()
+    w1.store("x", 1, order)
+    w2 = p.thread()
+    w2.store("y", 1, order)
+    regs = []
+    for locs in (("x", "y"), ("y", "x")):
+        t = p.thread()
+        r1 = t.load(locs[0], order)
+        if fence is not None:
+            t.fence(fence)
+        r2 = t.load(locs[1], order)
+        regs += [r1, r2]
+    p.observe(*regs)
+    a, b, c, d = regs
+    return LitmusTest(
+        name,
+        p.build(),
+        lambda o, s, a=a.name, b=b.name, c=c.name, d=d.name: (
+            o[f"{a}@2"] == 1
+            and o[f"{b}@2"] == 0
+            and o[f"{c}@3"] == 1
+            and o[f"{d}@3"] == 0
+        ),
+        "can the two readers disagree on the order of the writes?",
+    )
+
+
+@litmus("IRIW")
+def iriw() -> LitmusTest:
+    return _iriw("IRIW", None)
+
+
+@litmus("IRIW+fences")
+def iriw_fences() -> LitmusTest:
+    return _iriw("IRIW+fences", FenceKind.SYNC)
+
+
+@litmus("IRIW+lwsyncs")
+def iriw_lwsyncs() -> LitmusTest:
+    return _iriw("IRIW+lwsyncs", FenceKind.LWSYNC)
+
+
+@litmus("IRIW+sc")
+def iriw_sc() -> LitmusTest:
+    return _iriw("IRIW+sc", None, MemOrder.SC)
+
+
+# ---------------------------------------------------------------------------
+# write-to-read causality and friends
+
+
+@litmus("WRC")
+def wrc() -> LitmusTest:
+    p = ProgramBuilder("WRC")
+    t1 = p.thread()
+    t1.store(("x", 0), 1)
+    t2 = p.thread()
+    a = t2.load(("x", 0))
+    t2.store("y", a - a + 1)  # data dependency x -> y
+    t3 = p.thread()
+    b = t3.load("y")
+    c = t3.load(("x", b - b))  # address dependency y -> x[0]
+    p.observe(a, b, c)
+    return LitmusTest(
+        "WRC",
+        p.build(),
+        lambda o, s, a=a.name, b=b.name, c=c.name: (
+            o[f"{a}@1"] == 1 and o[f"{b}@2"] == 1 and o[f"{c}@2"] == 0
+        ),
+        "write-to-read causality through a middleman thread",
+    )
+
+
+@litmus("2+2W")
+def two_plus_two_w() -> LitmusTest:
+    p = ProgramBuilder("2+2W")
+    for locs in (("x", "y"), ("y", "x")):
+        t = p.thread()
+        t.store(locs[0], 2)
+        t.store(locs[1], 1)
+    return LitmusTest(
+        "2+2W",
+        p.build(),
+        lambda o, s: s.get("x") == 2 and s.get("y") == 2,
+        "can both locations end up holding 2?",
+    )
+
+
+@litmus("R")
+def r_shape() -> LitmusTest:
+    p = ProgramBuilder("R")
+    t1 = p.thread()
+    t1.store("x", 1)
+    t1.store("y", 1)
+    t2 = p.thread()
+    t2.store("y", 2)
+    a = t2.load("x")
+    p.observe(a)
+    return LitmusTest(
+        "R",
+        p.build(),
+        lambda o, s, a=a.name: o[f"{a}@1"] == 0 and s.get("y") == 2,
+        "R shape: store-store vs store-load",
+    )
+
+
+@litmus("S")
+def s_shape() -> LitmusTest:
+    p = ProgramBuilder("S")
+    t1 = p.thread()
+    t1.store("x", 2)
+    t1.store("y", 1)
+    t2 = p.thread()
+    a = t2.load("y")
+    t2.store("x", a - a + 1)  # data dependency
+    p.observe(a)
+    return LitmusTest(
+        "S",
+        p.build(),
+        lambda o, s, a=a.name: o[f"{a}@1"] == 1 and s.get("x") == 2,
+        "S shape: the dependent store must not lose to the po-earlier store",
+    )
+
+
+# ---------------------------------------------------------------------------
+# coherence shapes (forbidden everywhere)
+
+
+@litmus("CoRR")
+def corr() -> LitmusTest:
+    p = ProgramBuilder("CoRR")
+    t1 = p.thread()
+    t1.store("x", 1)
+    t2 = p.thread()
+    a = t2.load("x")
+    b = t2.load("x")
+    p.observe(a, b)
+    return LitmusTest(
+        "CoRR",
+        p.build(),
+        lambda o, s, a=a.name, b=b.name: o[f"{a}@1"] == 1 and o[f"{b}@1"] == 0,
+        "same-location reads must not go backwards",
+    )
+
+
+@litmus("CoWW")
+def coww() -> LitmusTest:
+    p = ProgramBuilder("CoWW")
+    t1 = p.thread()
+    t1.store("x", 1)
+    t1.store("x", 2)
+    return LitmusTest(
+        "CoWW",
+        p.build(),
+        lambda o, s: s.get("x") == 1,
+        "program-order same-location stores must not reorder",
+    )
+
+
+@litmus("CoRW1")
+def corw1() -> LitmusTest:
+    p = ProgramBuilder("CoRW1")
+    t1 = p.thread()
+    a = t1.load("x")
+    t1.store("x", 1)
+    p.observe(a)
+    return LitmusTest(
+        "CoRW1",
+        p.build(),
+        lambda o, s, a=a.name: o[f"{a}@0"] == 1,
+        "a read must not observe its own po-later store",
+    )
+
+
+@litmus("CoWR")
+def cowr() -> LitmusTest:
+    p = ProgramBuilder("CoWR")
+    t1 = p.thread()
+    t1.store("x", 1)
+    a = t1.load("x")
+    t2 = p.thread()
+    t2.store("x", 2)
+    p.observe(a)
+    return LitmusTest(
+        "CoWR",
+        p.build(),
+        lambda o, s, a=a.name: o[f"{a}@0"] == 0,
+        "a read after an own store must not see the initial value",
+    )
+
+
+# ---------------------------------------------------------------------------
+# RMW shapes
+
+
+@litmus("2xFAI")
+def two_fai() -> LitmusTest:
+    p = ProgramBuilder("2xFAI")
+    regs = []
+    for _ in range(2):
+        t = p.thread()
+        regs.append(t.fai("c", 1))
+    p.observe(*regs)
+    a, b = regs
+    return LitmusTest(
+        "2xFAI",
+        p.build(),
+        lambda o, s, a=a.name, b=b.name: o[f"{a}@0"] == o[f"{b}@1"],
+        "two fetch-and-adds must not both read the same value",
+    )
+
+
+@litmus("CAS-race")
+def cas_race() -> LitmusTest:
+    p = ProgramBuilder("CAS-race")
+    regs = []
+    for _ in range(2):
+        t = p.thread()
+        regs.append(t.cas("l", 0, 1))
+    p.observe(*regs)
+    a, b = regs
+    return LitmusTest(
+        "CAS-race",
+        p.build(),
+        lambda o, s, a=a.name, b=b.name: o[f"{a}@0"] == 1 and o[f"{b}@1"] == 1,
+        "two CAS(0->1) must not both succeed",
+    )

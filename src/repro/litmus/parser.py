@@ -1,0 +1,280 @@
+"""A parser for column-style litmus files.
+
+The classic herd/diy layout, adapted to this library's statement
+vocabulary::
+
+    SB+example
+    { }
+    P0          | P1          ;
+    x = 1       | y = 1       ;
+    r0 = y      | r1 = x      ;
+    exists (0:r0=0 /\\ 1:r1=0)
+
+Cell grammar (one statement per cell; ``-`` or blank is a no-op):
+
+* ``x = 3`` / ``x =rel 3``            — store (optional ordering)
+* ``r0 = x`` / ``r0 =acq x``          — load into a register
+* ``r0 = FAI(x, 1)``                  — fetch-and-add, old value
+* ``r0 = CAS(x, 0, 1)``               — compare-and-swap, success flag
+* ``r0 = XCHG(x, 2)``                 — exchange, old value
+* ``fence`` / ``fence(lwsync)`` / ``mfence`` / ``dmb ld`` …
+* ``if r0 == 1: x = 2``               — one-line conditional
+* ``assume r0 == 1`` / ``assert r0 == 1``
+
+Registers are names starting with ``r``; everything else on the right
+of a plain assignment is a location.  The ``exists`` clause names the
+observation the litmus probes: ``parse_litmus`` returns it as a
+predicate usable with :class:`~repro.litmus.catalog.LitmusTest`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..events import FenceKind, MemOrder
+from ..lang import Expr, Program, ProgramBuilder, Reg, lift
+from ..lang.builder import BlockBuilder
+from .catalog import LitmusTest
+
+
+class LitmusParseError(Exception):
+    """Raised on malformed litmus input."""
+
+
+_ORDERS = {
+    "": MemOrder.RLX,
+    "rlx": MemOrder.RLX,
+    "acq": MemOrder.ACQ,
+    "rel": MemOrder.REL,
+    "acqrel": MemOrder.ACQ_REL,
+    "sc": MemOrder.SC,
+}
+
+_FENCES = {
+    "fence": (FenceKind.SYNC, MemOrder.SC),
+    "sync": (FenceKind.SYNC, MemOrder.SC),
+    "mfence": (FenceKind.MFENCE, MemOrder.SC),
+    "lwsync": (FenceKind.LWSYNC, MemOrder.SC),
+    "isync": (FenceKind.ISYNC, MemOrder.SC),
+    "isb": (FenceKind.ISYNC, MemOrder.SC),
+    "dmb": (FenceKind.SYNC, MemOrder.SC),
+    "dmb ld": (FenceKind.DMB_LD, MemOrder.SC),
+    "dmb st": (FenceKind.DMB_ST, MemOrder.SC),
+    "fence(sc)": (FenceKind.C11, MemOrder.SC),
+    "fence(acq)": (FenceKind.C11, MemOrder.ACQ),
+    "fence(rel)": (FenceKind.C11, MemOrder.REL),
+    "fence(acqrel)": (FenceKind.C11, MemOrder.ACQ_REL),
+    "fence(sync)": (FenceKind.SYNC, MemOrder.SC),
+    "fence(lwsync)": (FenceKind.LWSYNC, MemOrder.SC),
+    "fence(mfence)": (FenceKind.MFENCE, MemOrder.SC),
+}
+
+_CMP = r"(==|!=|<=|>=|<|>)"
+
+
+@dataclass
+class _ThreadState:
+    block: BlockBuilder
+    regs: dict[str, Reg]
+
+
+def _is_reg(token: str) -> bool:
+    return bool(re.fullmatch(r"r\d+", token))
+
+
+class _Parser:
+    def __init__(self) -> None:
+        self.threads: list[_ThreadState] = []
+
+    # -- expressions over registers/constants ---------------------------------
+
+    def _operand(self, state: _ThreadState, token: str) -> Expr:
+        token = token.strip()
+        if re.fullmatch(r"-?\d+", token):
+            return lift(int(token))
+        if _is_reg(token):
+            if token not in state.regs:
+                raise LitmusParseError(f"register {token} used before set")
+            return state.regs[token]
+        raise LitmusParseError(f"cannot parse operand {token!r}")
+
+    def _condition(self, state: _ThreadState, text: str) -> Expr:
+        match = re.fullmatch(rf"\s*(\S+)\s*{_CMP}\s*(\S+)\s*", text)
+        if not match:
+            raise LitmusParseError(f"cannot parse condition {text!r}")
+        lhs, op, rhs = match.groups()
+        left = self._operand(state, lhs)
+        right = self._operand(state, rhs)
+        method = {
+            "==": "eq", "!=": "ne", "<": "lt",
+            "<=": "le", ">": "gt", ">=": "ge",
+        }[op]
+        return getattr(left, method)(right)
+
+    # -- statements ----------------------------------------------------------------
+
+    def statement(self, tid: int, cell: str) -> None:
+        state = self.threads[tid]
+        cell = cell.strip()
+        if not cell or cell == "-":
+            return
+        lowered = cell.lower()
+        if lowered in _FENCES:
+            kind, order = _FENCES[lowered]
+            state.block.fence(kind, order)
+            return
+        if lowered.startswith("if "):
+            head, _, body = cell.partition(":")
+            if not body.strip():
+                raise LitmusParseError(f"if without body: {cell!r}")
+            cond = self._condition(state, head[3:])
+            sub = _Parser._sub_statement
+            state.block.if_(cond, lambda b: sub(self, state, b, body.strip()))
+            return
+        if lowered.startswith("assume "):
+            state.block.assume(self._condition(state, cell[7:]))
+            return
+        if lowered.startswith("assert "):
+            state.block.assert_(self._condition(state, cell[7:]))
+            return
+        self._assignment(state, state.block, cell)
+
+    def _sub_statement(self, state: _ThreadState, block: BlockBuilder, text: str) -> None:
+        lowered = text.lower()
+        if lowered in _FENCES:
+            kind, order = _FENCES[lowered]
+            block.fence(kind, order)
+            return
+        self._assignment(state, block, text)
+
+    def _assignment(self, state: _ThreadState, block: BlockBuilder, cell: str) -> None:
+        match = re.fullmatch(r"\s*(\S+)\s*=(\w*)\s*(.+?)\s*", cell)
+        if not match:
+            raise LitmusParseError(f"cannot parse statement {cell!r}")
+        target, suffix, rhs = match.groups()
+        order = _ORDERS.get(suffix)
+        if order is None:
+            raise LitmusParseError(f"unknown ordering {suffix!r} in {cell!r}")
+        rmw = re.fullmatch(r"(FAI|CAS|XCHG)\s*\(([^)]*)\)", rhs, re.IGNORECASE)
+        if rmw is not None:
+            self._rmw(state, block, target, rmw, order)
+            return
+        if _is_reg(target):
+            # load: target register, rhs location
+            state.regs[target] = block.load(rhs, order)
+            return
+        # store: target location, rhs expression
+        block.store(target, self._operand(state, rhs), order)
+
+    def _rmw(self, state, block, target, match, order) -> None:
+        if not _is_reg(target):
+            raise LitmusParseError("RMW result must go into a register")
+        kind = match.group(1).upper()
+        args = [a.strip() for a in match.group(2).split(",")]
+        if kind == "FAI":
+            if len(args) != 2:
+                raise LitmusParseError("FAI needs (loc, delta)")
+            state.regs[target] = block.fai(args[0], self._operand(state, args[1]), order)
+        elif kind == "CAS":
+            if len(args) != 3:
+                raise LitmusParseError("CAS needs (loc, expected, desired)")
+            state.regs[target] = block.cas(
+                args[0],
+                self._operand(state, args[1]),
+                self._operand(state, args[2]),
+                order,
+            )
+        else:  # XCHG
+            if len(args) != 2:
+                raise LitmusParseError("XCHG needs (loc, value)")
+            state.regs[target] = block.xchg(args[0], self._operand(state, args[1]), order)
+
+
+def parse_litmus(text: str) -> LitmusTest:
+    """Parse a column-style litmus file into a :class:`LitmusTest`."""
+    lines = [
+        line.rstrip()
+        for line in text.splitlines()
+        if line.strip() and not line.strip().startswith("//")
+    ]
+    if not lines:
+        raise LitmusParseError("empty litmus file")
+    name = lines.pop(0).strip()
+    if lines and lines[0].strip().startswith("{"):
+        lines.pop(0)  # initialisation block: everything starts at 0 anyway
+
+    exists_clause = None
+    if lines and lines[-1].strip().lower().startswith("exists"):
+        exists_clause = lines.pop().strip()
+
+    rows = [[cell.strip() for cell in line.rstrip(";").split("|")] for line in lines]
+    if not rows:
+        raise LitmusParseError("no thread rows")
+    header = rows.pop(0)
+    num_threads = len(header)
+    for i, cell in enumerate(header):
+        if not re.fullmatch(rf"P{i}", cell.strip()):
+            raise LitmusParseError(f"bad thread header {cell!r}")
+
+    builder = ProgramBuilder(name)
+    parser = _Parser()
+    for tid in range(num_threads):
+        thread = builder.thread()
+        parser.threads.append(_ThreadState(thread, {}))
+    for row in rows:
+        if len(row) != num_threads:
+            raise LitmusParseError(f"row has {len(row)} cells, want {num_threads}")
+        for tid, cell in enumerate(row):
+            parser.statement(tid, cell)
+
+    # observe every named register
+    observed: dict[tuple[int, str], str] = {}
+    for tid, state in enumerate(parser.threads):
+        for public, reg in state.regs.items():
+            builder.observe(reg)
+            observed[(tid, public)] = reg.name
+    program = builder.build()
+
+    predicate = _parse_exists(exists_clause, observed)
+    return LitmusTest(
+        name=name,
+        program=program,
+        interesting=predicate,
+        description=exists_clause or "",
+    )
+
+
+def _parse_exists(clause: str | None, observed: dict[tuple[int, str], str]):
+    """Turn ``exists (0:r0=1 /\\ 1:r1=0)`` into an observation predicate."""
+    if clause is None:
+        return lambda o, s: False
+    body = clause.strip()
+    body = re.sub(r"^exists\s*\(", "", body).rstrip(")")
+    conjuncts = []
+    for part in body.split("/\\"):
+        match = re.fullmatch(r"\s*(\d+):(\w+)\s*=\s*(-?\d+)\s*", part)
+        if match is None:
+            match_loc = re.fullmatch(r"\s*(\w+)\s*=\s*(-?\d+)\s*", part)
+            if match_loc is None:
+                raise LitmusParseError(f"cannot parse exists conjunct {part!r}")
+            loc, value = match_loc.groups()
+            conjuncts.append(("loc", loc, int(value)))
+            continue
+        tid, reg, value = match.groups()
+        key = observed.get((int(tid), reg))
+        if key is None:
+            raise LitmusParseError(f"exists references unknown register {part!r}")
+        conjuncts.append(("reg", f"{key}@{tid}", int(value)))
+
+    def predicate(obs, state, conjuncts=tuple(conjuncts)):
+        for kind, key, value in conjuncts:
+            if kind == "reg":
+                if obs.get(key) != value:
+                    return False
+            else:
+                if dict(state).get(key, 0) != value:
+                    return False
+        return True
+
+    return predicate

@@ -1,0 +1,69 @@
+"""Running litmus tests and evaluating their verdicts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import ExplorationOptions, Explorer, VerificationResult
+from ..models import MemoryModel, get_model
+from .catalog import LitmusTest
+
+
+@dataclass(frozen=True)
+class LitmusVerdict:
+    test: str
+    model: str
+    #: the probed relaxed outcome was observed in some execution
+    observed: bool
+    executions: int
+    duplicates: int
+    elapsed: float
+
+    def __str__(self) -> str:
+        word = "allowed" if self.observed else "forbidden"
+        return f"{self.test:16s} {self.model:9s} {word:9s} ({self.executions} executions)"
+
+
+def run_litmus(
+    test: LitmusTest,
+    model: MemoryModel | str,
+    options: ExplorationOptions | None = None,
+) -> LitmusVerdict:
+    """Explore the test exhaustively and evaluate its probe."""
+    model = get_model(model) if isinstance(model, str) else model
+    options = options or ExplorationOptions(
+        stop_on_error=False, collect_executions=True
+    )
+    if not options.collect_executions:
+        raise ValueError("litmus evaluation needs collect_executions")
+    result = Explorer(test.program, model, options).run()
+    observed = _probe_observed(test, result)
+    return LitmusVerdict(
+        test=test.name,
+        model=model.name,
+        observed=observed,
+        executions=result.executions,
+        duplicates=result.duplicates,
+        elapsed=result.elapsed,
+    )
+
+
+def _probe_observed(test: LitmusTest, result: VerificationResult) -> bool:
+    from ..graphs import final_state
+    from ..lang import replay
+
+    for graph in result.execution_graphs:
+        observation: dict[str, int] = {}
+        for tid, reg in test.program.observables:
+            rep = replay(
+                test.program.threads[tid], tid, graph.read_values(tid)
+            )
+            if reg in rep.registers:
+                observation[f"{reg}@{tid}"] = rep.registers[reg]
+        state = dict(final_state(graph))
+        try:
+            if test.interesting(observation, state):
+                return True
+        except KeyError:
+            continue  # a probed register never got assigned: not this one
+    return False

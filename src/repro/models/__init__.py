@@ -1,0 +1,33 @@
+"""Axiomatic memory models: the consistency predicates HMC checks
+execution graphs against."""
+
+from .armv8 import ARMv8
+from .base import MemoryModel
+from .coherence import CoherenceOnly
+from .diagnose import Diagnosis, explain_inconsistency
+from .imm import IMM
+from .power import Power
+from .pso import PSO
+from .ra import ReleaseAcquire
+from .rc11 import RC11
+from .registry import all_models, get_model, model_names
+from .sc import SequentialConsistency
+from .tso import TSO
+
+__all__ = [
+    "ARMv8",
+    "CoherenceOnly",
+    "Diagnosis",
+    "explain_inconsistency",
+    "IMM",
+    "MemoryModel",
+    "PSO",
+    "Power",
+    "RC11",
+    "ReleaseAcquire",
+    "SequentialConsistency",
+    "TSO",
+    "all_models",
+    "get_model",
+    "model_names",
+]

@@ -1,0 +1,67 @@
+"""ARMv8 (AArch64), simplified axiomatic form.
+
+ARMv8 is *multi-copy atomic*: a write becomes visible to all other
+cores at once, which the model captures by putting external
+communication (rfe ∪ coe ∪ fre) straight into the ordered-before
+relation ``ob``.  Local reordering is constrained only by
+dependencies (dob), barriers (bob: dmb/isb and acquire/release
+accesses) and RMW atomicity (aob).
+
+Axiom: acyclic(ob), ob = obs ∪ dob ∪ bob ∪ aob, plus the common
+internal axiom (SC-per-location) and atomicity.  Independent load
+buffering is allowed; adding a dependency or barrier on either side
+forbids it.
+"""
+
+from __future__ import annotations
+
+from ..events import Event
+from ..graphs import ExecutionGraph
+from ..graphs.derived import co, external, fr, rfe, rmw_pairs
+from ..relations import Relation, union
+from .base import MemoryModel
+from .common import (
+    acquire_release_po,
+    fence_ordered_po,
+    hardware_prefix_preds,
+    is_acquire_read,
+    is_release_write,
+    ppo_dependencies,
+)
+
+
+def _stlr_ldar(graph: ExecutionGraph) -> Relation:
+    """ARMv8 bob includes [L]; po; [A]: a store-release is ordered
+    before every po-later load-acquire (RCsc semantics)."""
+    rel = Relation()
+    for tid in graph.thread_ids():
+        events = graph.thread_events(tid)
+        for i, a in enumerate(events):
+            if not is_release_write(graph, a):
+                continue
+            for b in events[i + 1:]:
+                if is_acquire_read(graph, b):
+                    rel.add(a, b)
+    return rel
+
+
+class ARMv8(MemoryModel):
+    name = "armv8"
+    porf_acyclic = False
+
+    def axiom_holds(self, graph: ExecutionGraph) -> bool:
+        return self.axiom_relation(graph).is_acyclic()
+
+    def axiom_relation(self, graph: ExecutionGraph):
+        obs = union(rfe(graph), external(co(graph)), external(fr(graph)))
+        return union(
+            obs,
+            ppo_dependencies(graph),   # dob
+            fence_ordered_po(graph),   # bob: dmb sy / dmb ld / dmb st / isb
+            acquire_release_po(graph),  # bob: ldar / stlr
+            _stlr_ldar(graph),         # bob: [L]; po; [A] (RCsc)
+            rmw_pairs(graph),          # aob
+        )
+
+    def prefix_preds(self, graph: ExecutionGraph, ev: Event) -> list[Event]:
+        return hardware_prefix_preds(graph, ev)

@@ -1,0 +1,72 @@
+"""The memory-model interface.
+
+HMC is *parametric* in the memory model: the exploration algorithm only
+asks a model three questions —
+
+1. :meth:`MemoryModel.is_consistent`: is this (partial or complete)
+   execution graph allowed?  All supported models are *prefix-closed*
+   (restricting a consistent graph keeps it consistent), which makes
+   checking partial graphs a sound pruning step.
+
+2. :meth:`MemoryModel.prefix_preds`: which events must causally precede
+   a given event in any exploration that constructs it.  A newly added
+   write may only backward-revisit reads *outside* this closure.  For
+   porf-acyclic models this is po ∪ rf; for hardware models (IMM,
+   ARMv8, POWER) it is the dependency-based relation that lets HMC
+   generate load-buffering outcomes.
+
+3. :attr:`MemoryModel.porf_acyclic`: whether the model forbids po ∪ rf
+   cycles.  This selects the default causal-prefix notion and is the
+   hypothesis under which the exploration's duplicate suppression is
+   strongest (measured zero on the litmus corpus); residual duplicates
+   under any model are deduplicated by canonical hashing and reported.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..events import Event
+from ..graphs import ExecutionGraph, porf_preds
+from .common import atomicity_ok, sc_per_location
+
+
+class MemoryModel(abc.ABC):
+    """Base class of all axiomatic memory models."""
+
+    #: short identifier used by the registry and the CLI
+    name: str = "abstract"
+    #: does the model forbid (po ∪ rf) cycles?
+    porf_acyclic: bool = True
+
+    # -- consistency ---------------------------------------------------------
+
+    def coherence_ok(self, graph: ExecutionGraph) -> bool:
+        """SC-per-location plus RMW atomicity — common to every model."""
+        return sc_per_location(graph) and atomicity_ok(graph)
+
+    def is_consistent(self, graph: ExecutionGraph) -> bool:
+        """Full consistency: coherence, atomicity and the model axiom."""
+        return self.coherence_ok(graph) and self.axiom_holds(graph)
+
+    @abc.abstractmethod
+    def axiom_holds(self, graph: ExecutionGraph) -> bool:
+        """The model-specific global axiom (beyond coherence)."""
+
+    def axiom_relation(self, graph: ExecutionGraph):
+        """The relation whose acyclicity is the global axiom, when the
+        model has that shape (used for diagnosis); None otherwise."""
+        return None
+
+    # -- exploration hooks ------------------------------------------------------
+
+    def prefix_preds(self, graph: ExecutionGraph, ev: Event) -> list[Event]:
+        """Events that must causally precede ``ev`` (one step).
+
+        The default — po-predecessor plus rf source — is the GenMC
+        notion and is correct for every porf-acyclic model.
+        """
+        return porf_preds(graph, ev)
+
+    def __repr__(self) -> str:
+        return f"<model {self.name}>"

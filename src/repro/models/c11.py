@@ -1,0 +1,135 @@
+"""C11-style synchronisation: release sequences, sw and hb.
+
+Shared between the RA and RC11 models.  The definitions follow the
+post-C++20 fixes adopted by RC11: a release sequence is the write
+itself plus any chain of RMWs reading from it.
+"""
+
+from __future__ import annotations
+
+from ..events import Event, FenceKind, FenceLabel, MemOrder, ReadLabel, WriteLabel
+from ..graphs import ExecutionGraph
+from ..graphs.derived import eco, graph_cached, po, rf
+from ..relations import Relation, bracket, optional, seq, union
+
+#: the C11 strength of each hardware fence, following the standard
+#: compilation correspondences (sync/mfence <-> seq_cst fence,
+#: lwsync <-> acq_rel, dmb ld / isync <-> acquire, dmb st <-> release)
+_FENCE_C11: dict[FenceKind, MemOrder] = {
+    FenceKind.MFENCE: MemOrder.SC,
+    FenceKind.SYNC: MemOrder.SC,
+    FenceKind.LWSYNC: MemOrder.ACQ_REL,
+    FenceKind.DMB_LD: MemOrder.ACQ,
+    FenceKind.ISYNC: MemOrder.ACQ,
+    FenceKind.DMB_ST: MemOrder.REL,
+}
+
+
+def fence_c11_order(label: FenceLabel) -> MemOrder:
+    """The C11 ordering a fence contributes under language models."""
+    if label.kind is FenceKind.C11:
+        return label.order
+    return _FENCE_C11[label.kind]
+
+
+def release_sequence(graph: ExecutionGraph, write: Event) -> set[Event]:
+    """``write`` plus every RMW write reachable through rf ∘ rmw."""
+    out = {write}
+    frontier = [write]
+    while frontier:
+        w = frontier.pop()
+        for r in graph.readers_of(w):
+            lab = graph.label(r)
+            if isinstance(lab, ReadLabel) and lab.exclusive:
+                partner = graph.exclusive_pair(r)
+                if partner is not None and partner not in out:
+                    out.add(partner)
+                    frontier.append(partner)
+    return out
+
+
+def _release_source(graph: ExecutionGraph, write: Event) -> Event | None:
+    """The hb source for synchronisation through ``write``: the write
+    itself when it is a release, else a po-earlier release fence."""
+    lab = graph.label(write)
+    assert isinstance(lab, WriteLabel)
+    if lab.order.is_release():
+        return write
+    if write.is_initial:
+        return None
+    for e in reversed(graph.thread_events(write.tid)[: write.index]):
+        elab = graph.label(e)
+        if isinstance(elab, FenceLabel) and fence_c11_order(elab).is_release():
+            return e
+    return None
+
+
+def _acquire_target(graph: ExecutionGraph, read: Event) -> Event | None:
+    """The hb target: the read itself when acquire, else a po-later
+    acquire fence."""
+    lab = graph.label(read)
+    assert isinstance(lab, ReadLabel)
+    if lab.order.is_acquire():
+        return read
+    for e in graph.thread_events(read.tid)[read.index + 1:]:
+        elab = graph.label(e)
+        if isinstance(elab, FenceLabel) and fence_c11_order(elab).is_acquire():
+            return e
+    return None
+
+
+@graph_cached
+def synchronizes_with(graph: ExecutionGraph) -> Relation:
+    """The C11 sw relation over the graph."""
+    sw = Relation()
+    for write in graph.writes():
+        source = _release_source(graph, write)
+        if source is None:
+            continue
+        for member in release_sequence(graph, write):
+            for read in graph.readers_of(member):
+                target = _acquire_target(graph, read)
+                if target is not None and source != target:
+                    sw.add(source, target)
+    return sw
+
+
+def happens_before(graph: ExecutionGraph, sw: Relation | None = None) -> Relation:
+    """hb = (po ∪ sw)+."""
+    if sw is None:
+        sw = synchronizes_with(graph)
+    return union(po(graph), sw).transitive_closure()
+
+
+@graph_cached
+def strong_happens_before(graph: ExecutionGraph) -> Relation:
+    """hb where *every* rf edge synchronises (the RA model's hb)."""
+    return union(po(graph), rf(graph)).transitive_closure()
+
+
+def sc_events(graph: ExecutionGraph, accesses: bool = True) -> list[Event]:
+    """Events participating in the SC axiom: SC-ordered accesses (when
+    ``accesses``) and fences whose C11 strength is seq_cst."""
+    out = []
+    for e in graph.events():
+        lab = graph.label(e)
+        if isinstance(lab, FenceLabel):
+            if fence_c11_order(lab).is_sc():
+                out.append(e)
+        elif accesses and isinstance(lab, (ReadLabel, WriteLabel)):
+            if lab.order.is_sc():
+                out.append(e)
+    return out
+
+
+def psc_acyclic(graph: ExecutionGraph, hb: Relation, sc: list[Event]) -> bool:
+    """The RC11-style SC axiom: acyclic(psc) with
+    psc = [Esc] ; (hb ∪ hb? ; eco ; hb?) ; [Esc]."""
+    if len(sc) < 2:
+        return True
+    esc = bracket(sc)
+    universe = list(graph.events())
+    hb_opt = optional(hb, universe)
+    scb = union(hb, seq(hb_opt, eco(graph), hb_opt))
+    psc = seq(esc, scb, esc)
+    return psc.is_acyclic()

@@ -1,0 +1,46 @@
+"""SC-per-location only: the weakest model in the family.
+
+Useful as a baseline (every other model's executions are a subset of
+its) and for isolating the coherence machinery in tests.
+
+Because the axiom constrains nothing beyond per-location coherence,
+the causal prefix must be equally minimal — reads-from sources, RMW
+pairing and same-location program order only.  Dependencies and fences
+must *not* enter it: they are not part of the axiom, so revisits
+across them are legitimate (a revisit that would actually change a
+value is rejected by the replay validation).  Out-of-thin-air values
+still never appear: every constructed value is produced by replaying
+the program.
+"""
+
+from __future__ import annotations
+
+from ..events import Event, ReadLabel, WriteLabel
+from ..graphs import ExecutionGraph
+from .base import MemoryModel
+
+
+class CoherenceOnly(MemoryModel):
+    name = "coherence"
+    porf_acyclic = False
+
+    def axiom_holds(self, graph: ExecutionGraph) -> bool:
+        return True
+
+    def prefix_preds(self, graph: ExecutionGraph, ev: Event) -> list[Event]:
+        preds: list[Event] = []
+        lab = graph.label(ev)
+        if isinstance(lab, ReadLabel):
+            src = graph.rf(ev)
+            if not src.is_initial:
+                preds.append(src)
+        if isinstance(lab, WriteLabel) and lab.exclusive:
+            partner = graph.exclusive_pair(ev)
+            if partner is not None:
+                preds.append(partner)
+        if not ev.is_initial and lab.is_access:
+            for p in graph.thread_events(ev.tid)[: ev.index]:
+                plab = graph.label(p)
+                if plab.is_access and plab.location == lab.location:
+                    preds.append(p)
+        return preds

@@ -1,0 +1,219 @@
+"""Axioms and relation fragments shared between memory models.
+
+Every supported model includes *coherence* (SC-per-location) and
+*atomicity*; hardware models additionally share the shape of their
+fence- and dependency-induced orderings, collected here so each model
+file reads like its paper definition.
+"""
+
+from __future__ import annotations
+
+from ..events import Event, FenceKind, FenceLabel, MemOrder, ReadLabel, WriteLabel
+from ..graphs import ExecutionGraph
+from ..graphs.derived import co, dependency, fr, graph_cached, po_loc, rf, rmw_pairs
+from ..relations import Relation, union
+
+
+def sc_per_location(graph: ExecutionGraph) -> bool:
+    """Coherence: po-loc ∪ rf ∪ co ∪ fr is acyclic.
+
+    Locations are independent, so this is checked globally; the po-loc
+    component only ever links same-location accesses.
+    """
+    rel = union(po_loc(graph), rf(graph), co(graph), fr(graph))
+    return rel.is_acyclic()
+
+
+def atomicity_ok(graph: ExecutionGraph) -> bool:
+    """RMW atomicity: no write intervenes, in coherence order, between
+    an exclusive read's source and its exclusive write."""
+    for read, write in rmw_pairs(graph).pairs():
+        src = graph.rf(read)
+        order = graph.co_order(graph.label(write).location)  # type: ignore[arg-type]
+        i, j = order.index(src), order.index(write)
+        if j != i + 1:
+            return False
+    return True
+
+
+# -- classifying events -------------------------------------------------------
+
+
+def is_read(graph: ExecutionGraph, e: Event) -> bool:
+    return isinstance(graph.label(e), ReadLabel)
+
+
+def is_write(graph: ExecutionGraph, e: Event) -> bool:
+    return isinstance(graph.label(e), WriteLabel)
+
+
+def is_acquire_read(graph: ExecutionGraph, e: Event) -> bool:
+    lab = graph.label(e)
+    return isinstance(lab, ReadLabel) and lab.order.is_acquire()
+
+
+def is_release_write(graph: ExecutionGraph, e: Event) -> bool:
+    lab = graph.label(e)
+    return isinstance(lab, WriteLabel) and lab.order.is_release()
+
+
+def fence_orders(kind: FenceKind, order: MemOrder, before: str, after: str) -> bool:
+    """Does a fence of this kind order an access class ``before`` it
+    against an access class ``after`` it?  Classes are ``"R"``/``"W"``.
+    """
+    if kind.is_full():
+        return True
+    if kind is FenceKind.LWSYNC:
+        return not (before == "W" and after == "R")
+    if kind is FenceKind.DMB_LD:
+        return before == "R"
+    if kind is FenceKind.DMB_ST:
+        return before == "W" and after == "W"
+    if kind is FenceKind.ISYNC:
+        # approximation of the ctrl+isync idiom: reads before the
+        # barrier are ordered against everything after it
+        return before == "R"
+    if kind is FenceKind.C11:
+        if order is MemOrder.SC or order is MemOrder.ACQ_REL:
+            return True
+        if order is MemOrder.ACQ:
+            return before == "R"
+        if order is MemOrder.REL:
+            return after == "W"
+    return False
+
+
+def _access_class(graph: ExecutionGraph, e: Event) -> str | None:
+    lab = graph.label(e)
+    if isinstance(lab, ReadLabel):
+        return "R"
+    if isinstance(lab, WriteLabel):
+        return "W"
+    return None
+
+
+@graph_cached
+def fence_ordered_po(graph: ExecutionGraph) -> Relation:
+    """All po pairs (a, b) with an ordering fence strictly between them."""
+    rel = Relation()
+    for tid in graph.thread_ids():
+        events = graph.thread_events(tid)
+        fence_positions = [
+            (i, graph.label(e))
+            for i, e in enumerate(events)
+            if isinstance(graph.label(e), FenceLabel)
+        ]
+        if not fence_positions:
+            continue
+        for i, a in enumerate(events):
+            cls_a = _access_class(graph, a)
+            if cls_a is None:
+                continue
+            for j in range(i + 1, len(events)):
+                b = events[j]
+                cls_b = _access_class(graph, b)
+                if cls_b is None:
+                    continue
+                for k, flab in fence_positions:
+                    if i < k < j and fence_orders(
+                        flab.kind, flab.order, cls_a, cls_b  # type: ignore[union-attr]
+                    ):
+                        rel.add(a, b)
+                        break
+    return rel
+
+
+@graph_cached
+def acquire_release_po(graph: ExecutionGraph) -> Relation:
+    """po edges induced by access annotations: everything after an
+    acquire read is ordered, everything before a release write is."""
+    rel = Relation()
+    for tid in graph.thread_ids():
+        events = graph.thread_events(tid)
+        for i, a in enumerate(events):
+            for b in events[i + 1:]:
+                if is_acquire_read(graph, a) and graph.label(b).is_access:
+                    rel.add(a, b)
+                elif graph.label(a).is_access and is_release_write(graph, b):
+                    rel.add(a, b)
+    return rel
+
+
+@graph_cached
+def ppo_dependencies(graph: ExecutionGraph) -> Relation:
+    """Hardware preserved program order from syntactic dependencies.
+
+    addr and data dependencies order a read before the dependent
+    access; ctrl dependencies only order reads before *writes* (reads
+    may be satisfied speculatively past a branch).  The relation is
+    transitively closed together with internal reads-from, since values
+    flow through same-thread memory too.
+    """
+    addr_data = dependency(graph, "ad")
+    ctrl = dependency(graph, "c").filter(
+        target=lambda e: is_write(graph, e)
+    )
+    from ..graphs.derived import rfi as rfi_rel
+
+    base = union(addr_data, ctrl, rmw_pairs(graph), rfi_rel(graph))
+    return base.transitive_closure()
+
+
+def hardware_prefix_preds(
+    graph: ExecutionGraph, ev: Event, annotations: bool = True
+) -> list[Event]:
+    """One-step causal predecessors of ``ev`` under a hardware model.
+
+    This is the relation HMC substitutes for po ∪ rf: reads-from
+    sources, syntactic dependencies, RMW pairing, same-location program
+    order, fence-induced order and — when the model respects them
+    (``annotations``) — acquire/release access annotations.  A
+    program-order predecessor *not* related by any of these is absent —
+    which is precisely what allows load-buffering revisits.  Models
+    that ignore C11 annotations (POWER, coherence-only) must pass
+    ``annotations=False`` or they would lose RMW-chained load-buffering
+    executions involving annotated accesses.
+    """
+    preds: list[Event] = []
+    lab = graph.label(ev)
+    if isinstance(lab, ReadLabel):
+        src = graph.rf(ev)
+        if not src.is_initial:
+            preds.append(src)
+    # addr/data dependencies always order; a ctrl dependency only
+    # orders the dependent *writes* — reads may be satisfied
+    # speculatively past a branch, so they stay revisitable across one
+    # (the revisit's replay validation rejects any revisit that would
+    # actually change the control flow)
+    preds.extend(d for d in (lab.addr_deps | lab.data_deps) if d in graph)
+    if isinstance(lab, WriteLabel):
+        preds.extend(d for d in lab.ctrl_deps if d in graph)
+    if isinstance(lab, WriteLabel) and lab.exclusive:
+        partner = graph.exclusive_pair(ev)
+        if partner is not None:
+            preds.append(partner)
+    if ev.is_initial:
+        return preds
+    cls_e = _access_class(graph, ev)
+    events = graph.thread_events(ev.tid)[: ev.index]
+    for i, p in enumerate(events):
+        plab = graph.label(p)
+        cls_p = _access_class(graph, p)
+        if cls_p is not None and cls_e is not None:
+            if plab.location == lab.location:
+                preds.append(p)
+                continue
+            if annotations and (
+                is_acquire_read(graph, p) or is_release_write(graph, ev)
+            ):
+                preds.append(p)
+                continue
+            between = graph.thread_events(ev.tid)[i + 1 : ev.index]
+            for f in between:
+                flab = graph.label(f)
+                if isinstance(flab, FenceLabel) and fence_orders(
+                    flab.kind, flab.order, cls_p, cls_e
+                ):
+                    preds.append(p)
+                    break
+    return preds

@@ -1,0 +1,59 @@
+"""IMM-core: the Intermediate Memory Model (Podkopaev, Lahav,
+Vafeiadis, POPL 2019), the model HMC's evaluation centres on.
+
+IMM sits between language models and hardware: it has C11-style
+synchronisation (so compiled rel/acq code works) but a *hardware*
+no-thin-air axiom — acyclicity of ``ar``, built from external
+reads-from, barrier order and dependency-preserved program order —
+so independent load buffering is **allowed**.
+
+This is a faithful-in-structure core: coherence + atomicity + the ar
+axiom, with ppo given by syntactic addr/data/ctrl dependencies closed
+with internal reads-from and RMW pairs.  Exotic components of full IMM
+(detour-induced edges, the SC axiom for SC accesses) are approximated
+by the bob/psc-free form below and the C11 fence handling of
+``fence_ordered_po``; the litmus suite pins the resulting verdicts.
+"""
+
+from __future__ import annotations
+
+from ..events import Event
+from ..graphs import ExecutionGraph
+from ..graphs.derived import eco, rfe
+from ..relations import union
+from .base import MemoryModel
+from .c11 import happens_before, psc_acyclic, sc_events, synchronizes_with
+from .common import (
+    acquire_release_po,
+    fence_ordered_po,
+    hardware_prefix_preds,
+    ppo_dependencies,
+)
+from .ra import hb_coherent
+
+
+class IMM(MemoryModel):
+    name = "imm"
+    porf_acyclic = False
+
+    def axiom_holds(self, graph: ExecutionGraph) -> bool:
+        hb = happens_before(graph, synchronizes_with(graph))
+        if not hb.is_irreflexive():
+            return False
+        if not hb_coherent(hb, eco(graph)):  # COH
+            return False
+        if not psc_acyclic(graph, hb, sc_events(graph)):  # SC axiom
+            return False
+        return self.axiom_relation(graph).is_acyclic()
+
+    def axiom_relation(self, graph: ExecutionGraph):
+        """The ar relation (note: COH and psc are separate checks)."""
+        return union(
+            rfe(graph),
+            fence_ordered_po(graph),   # bob: barriers
+            acquire_release_po(graph),  # bob: rel/acq annotations
+            ppo_dependencies(graph),   # ppo: deps ∪ rfi ∪ rmw, closed
+        )
+
+    def prefix_preds(self, graph: ExecutionGraph, ev: Event) -> list[Event]:
+        return hardware_prefix_preds(graph, ev)

@@ -1,0 +1,79 @@
+"""IBM POWER, following the herd model of Alglave–Maranget–Tautschnig
+(CACM 2014) in a reduced form.
+
+POWER is *not* multi-copy atomic: writes propagate to different cores
+at different times, so external coherence edges are not globally
+ordered; instead the model has a causality axiom over
+``hb = ppo ∪ fence ∪ rfe`` and separate *propagation* and
+*observation* axioms built from the cumulativity of sync/lwsync.
+
+The classic separations this reproduces: MP needs only lwsync (or a
+dependency on the reader side), SB needs full sync, and IRIW is
+forbidden by sync but **not** by lwsync.
+"""
+
+from __future__ import annotations
+
+from ..events import Event, FenceLabel
+from ..graphs import ExecutionGraph
+from ..graphs.derived import co, external, fr, rf, rfe, writes
+from ..relations import Relation, optional, seq, union
+from .base import MemoryModel
+from .common import hardware_prefix_preds, fence_ordered_po, ppo_dependencies
+
+
+def _sync_ordered(graph: ExecutionGraph) -> Relation:
+    """po pairs separated by a full (heavyweight) sync."""
+    rel = Relation()
+    for tid in graph.thread_ids():
+        events = graph.thread_events(tid)
+        syncs = [
+            i
+            for i, e in enumerate(events)
+            if isinstance(graph.label(e), FenceLabel)
+            and graph.label(e).kind.is_full()  # type: ignore[union-attr]
+        ]
+        if not syncs:
+            continue
+        for i, a in enumerate(events):
+            if not graph.label(a).is_access:
+                continue
+            for j in range(i + 1, len(events)):
+                b = events[j]
+                if graph.label(b).is_access and any(i < k < j for k in syncs):
+                    rel.add(a, b)
+    return rel
+
+
+class Power(MemoryModel):
+    name = "power"
+    porf_acyclic = False
+
+    def axiom_holds(self, graph: ExecutionGraph) -> bool:
+        ppo = ppo_dependencies(graph)
+        fences = fence_ordered_po(graph)
+        hb = union(ppo, fences, rfe(graph))
+        if not hb.is_acyclic():  # causality / no-thin-air
+            return False
+
+        universe = list(graph.events())
+        hb_star = optional(hb.transitive_closure(), universe)
+        esync = _sync_ordered(graph)
+        com = union(rf(graph), co(graph), fr(graph))
+        com_star = optional(com.transitive_closure(), universe)
+
+        prop_base = seq(union(fences, seq(rfe(graph), fences)), hb_star)
+        write_set = set(writes(graph))
+        prop_ww = prop_base.filter(
+            source=lambda e: e in write_set, target=lambda e: e in write_set
+        )
+        prop_base_star = optional(prop_base.transitive_closure(), universe)
+        prop = union(prop_ww, seq(com_star, prop_base_star, esync, hb_star))
+
+        if not union(co(graph), prop).is_acyclic():  # propagation
+            return False
+        observation = seq(external(fr(graph)), prop, hb_star)
+        return observation.is_irreflexive()
+
+    def prefix_preds(self, graph: ExecutionGraph, ev: Event) -> list[Event]:
+        return hardware_prefix_preds(graph, ev, annotations=False)

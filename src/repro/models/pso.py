@@ -1,0 +1,56 @@
+"""SPARC PSO: per-location (non-FIFO across locations) store buffers.
+
+Like TSO but writes to *different* locations may also be reordered:
+``ppo = po \\ ((W × R) ∪ (W × W))``.  Same-location write order is
+still preserved (it is part of coherence).  MFENCE/sync restores full
+order; a store-store fence (``DMB_ST``) restores W -> W.
+"""
+
+from __future__ import annotations
+
+from ..events import Event, ReadLabel, WriteLabel
+from ..graphs import ExecutionGraph
+from ..graphs.derived import external, co, fr, po, rfe
+from ..relations import Relation, union
+from .base import MemoryModel
+from .common import fence_ordered_po
+from .tso import _exclusive_flush
+
+
+def _relaxed(graph: ExecutionGraph, a: Event, b: Event) -> bool:
+    la, lb = graph.label(a), graph.label(b)
+    if not isinstance(la, WriteLabel):
+        return False
+    if isinstance(lb, ReadLabel):
+        return True
+    # W -> W to a different location is buffered; same-location order is
+    # enforced by coherence and kept in ppo for clarity.
+    return isinstance(lb, WriteLabel) and lb.loc != la.loc
+
+
+class PSO(MemoryModel):
+    name = "pso"
+    porf_acyclic = True
+
+    def axiom_holds(self, graph: ExecutionGraph) -> bool:
+        return self.axiom_relation(graph).is_acyclic()
+
+    def axiom_relation(self, graph: ExecutionGraph):
+        # ppo ranges over accesses only: the fence *events* must not
+        # smuggle W->R order in through transitivity (W -> F -> R); a
+        # fence's effect enters solely via fence_ordered_po
+        ppo = Relation(
+            (a, b)
+            for a, b in po(graph).pairs()
+            if graph.label(a).is_access
+            and graph.label(b).is_access
+            and not _relaxed(graph, a, b)
+        )
+        return union(
+            ppo,
+            fence_ordered_po(graph),
+            _exclusive_flush(graph),
+            rfe(graph),
+            external(co(graph)),
+            external(fr(graph)),
+        )

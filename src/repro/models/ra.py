@@ -1,0 +1,35 @@
+"""Release/Acquire (the SRA fragment of C11).
+
+Every write behaves as a release and every read as an acquire, so
+hb = (po ∪ rf)+.  Consistency: hb is acyclic (hence no load
+buffering) and coherence holds against hb: no event is hb-before
+something eco-before it.
+"""
+
+from __future__ import annotations
+
+from ..graphs import ExecutionGraph
+from ..graphs.derived import eco
+from ..relations import Relation
+from .base import MemoryModel
+from .c11 import psc_acyclic, sc_events, strong_happens_before
+
+
+def hb_coherent(hb: Relation, eco_rel: Relation) -> bool:
+    """irreflexive(hb ; eco): eco must not contradict happens-before."""
+    return all((b, a) not in eco_rel for a, b in hb.pairs())
+
+
+class ReleaseAcquire(MemoryModel):
+    name = "ra"
+    porf_acyclic = True
+
+    def axiom_holds(self, graph: ExecutionGraph) -> bool:
+        hb = strong_happens_before(graph)
+        if not hb.is_irreflexive():
+            return False
+        if not hb_coherent(hb, eco(graph)):
+            return False
+        # RA has no SC *accesses* (they degrade to rel/acq), but SC
+        # fences still restore order between the events around them
+        return psc_acyclic(graph, hb, sc_events(graph, accesses=False))

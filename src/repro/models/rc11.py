@@ -1,0 +1,34 @@
+"""RC11 (Lahav, Vafeiadis, Kang, Hur, Dreyer 2017), simplified core.
+
+The repaired C11 model: annotation-sensitive synchronisation, a COH
+axiom stated against hb, an SC axiom (psc, in the padded form that
+also covers SC fences), and the conservative no-thin-air fix —
+acyclic(po ∪ rf) — which rules out load buffering.  This is the
+strongest *language* model here; hardware models relax its porf
+axiom, which is exactly the gap HMC targets.
+"""
+
+from __future__ import annotations
+
+from ..graphs import ExecutionGraph
+from ..graphs.derived import eco, po, rf
+from ..relations import union
+from .base import MemoryModel
+from .c11 import happens_before, psc_acyclic, sc_events, synchronizes_with
+from .ra import hb_coherent
+
+
+class RC11(MemoryModel):
+    name = "rc11"
+    porf_acyclic = True
+
+    def axiom_holds(self, graph: ExecutionGraph) -> bool:
+        porf = union(po(graph), rf(graph))
+        if not porf.is_acyclic():  # no-thin-air
+            return False
+        hb = happens_before(graph, synchronizes_with(graph))
+        if not hb.is_irreflexive():
+            return False
+        if not hb_coherent(hb, eco(graph)):  # COH
+            return False
+        return psc_acyclic(graph, hb, sc_events(graph))

@@ -1,0 +1,54 @@
+"""Model registry: look models up by name."""
+
+from __future__ import annotations
+
+from .armv8 import ARMv8
+from .base import MemoryModel
+from .coherence import CoherenceOnly
+from .imm import IMM
+from .power import Power
+from .pso import PSO
+from .ra import ReleaseAcquire
+from .rc11 import RC11
+from .sc import SequentialConsistency
+from .tso import TSO
+
+_MODELS: dict[str, MemoryModel] = {}
+
+
+def register(model: MemoryModel) -> MemoryModel:
+    if model.name in _MODELS:
+        raise ValueError(f"duplicate model name {model.name!r}")
+    _MODELS[model.name] = model
+    return model
+
+
+for _m in (
+    SequentialConsistency(),
+    TSO(),
+    PSO(),
+    ReleaseAcquire(),
+    RC11(),
+    IMM(),
+    ARMv8(),
+    Power(),
+    CoherenceOnly(),
+):
+    register(_m)
+
+
+def get_model(name: str) -> MemoryModel:
+    """Look a memory model up by its short name (e.g. ``"tso"``)."""
+    try:
+        return _MODELS[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_MODELS))
+        raise KeyError(f"unknown memory model {name!r}; known: {known}") from None
+
+
+def model_names() -> list[str]:
+    return sorted(_MODELS)
+
+
+def all_models() -> list[MemoryModel]:
+    return [_MODELS[n] for n in model_names()]

@@ -1,0 +1,24 @@
+"""Sequential consistency (Lamport 1979), axiomatically.
+
+A graph is SC-consistent iff po ∪ rf ∪ co ∪ fr is acyclic — every
+event can be placed in one interleaving respecting program order in
+which reads see the latest write.
+"""
+
+from __future__ import annotations
+
+from ..graphs import ExecutionGraph
+from ..graphs.derived import co, fr, po, rf
+from ..relations import union
+from .base import MemoryModel
+
+
+class SequentialConsistency(MemoryModel):
+    name = "sc"
+    porf_acyclic = True
+
+    def axiom_holds(self, graph: ExecutionGraph) -> bool:
+        return self.axiom_relation(graph).is_acyclic()
+
+    def axiom_relation(self, graph: ExecutionGraph):
+        return union(po(graph), rf(graph), co(graph), fr(graph))

@@ -1,0 +1,78 @@
+"""x86-TSO (Owens, Sarkar, Sewell 2009), in herd-style axiomatic form.
+
+Each core has a FIFO store buffer: the only relaxation is that a write
+may be delayed past subsequent *reads* of other locations.  MFENCE and
+locked (exclusive) instructions flush the buffer.
+
+Axiom: acyclic(ppo ∪ fence ∪ rfe ∪ coe ∪ fre) with
+``ppo = po \\ (W × R)``, plus the common coherence and atomicity.
+"""
+
+from __future__ import annotations
+
+from ..events import Event, ReadLabel, WriteLabel
+from ..graphs import ExecutionGraph
+from ..graphs.derived import external, co, fr, po, rfe
+from ..relations import Relation, union
+from .base import MemoryModel
+from .common import fence_ordered_po
+
+
+def _buffered(graph: ExecutionGraph, a: Event, b: Event) -> bool:
+    """Is the po pair (a, b) relaxed by a FIFO store buffer (W -> R)?"""
+    return isinstance(graph.label(a), WriteLabel) and isinstance(
+        graph.label(b), ReadLabel
+    )
+
+
+def _exclusive_flush(graph: ExecutionGraph) -> Relation:
+    """Locked RMW instructions act as full fences on x86: order every
+    access before an exclusive access against every access after it."""
+    rel = Relation()
+    for tid in graph.thread_ids():
+        events = graph.thread_events(tid)
+        locked = [
+            i
+            for i, e in enumerate(events)
+            if getattr(graph.label(e), "exclusive", False)
+        ]
+        if not locked:
+            continue
+        for i, a in enumerate(events):
+            if not graph.label(a).is_access:
+                continue
+            for j in range(i + 1, len(events)):
+                b = events[j]
+                if not graph.label(b).is_access:
+                    continue
+                if any(i <= k <= j for k in locked):
+                    rel.add(a, b)
+    return rel
+
+
+class TSO(MemoryModel):
+    name = "tso"
+    porf_acyclic = True
+
+    def axiom_holds(self, graph: ExecutionGraph) -> bool:
+        return self.axiom_relation(graph).is_acyclic()
+
+    def axiom_relation(self, graph: ExecutionGraph):
+        # ppo ranges over accesses only: the fence *events* must not
+        # smuggle W->R order in through transitivity (W -> F -> R); a
+        # fence's effect enters solely via fence_ordered_po
+        ppo = Relation(
+            (a, b)
+            for a, b in po(graph).pairs()
+            if graph.label(a).is_access
+            and graph.label(b).is_access
+            and not _buffered(graph, a, b)
+        )
+        return union(
+            ppo,
+            fence_ordered_po(graph),
+            _exclusive_flush(graph),
+            rfe(graph),
+            external(co(graph)),
+            external(fr(graph)),
+        )

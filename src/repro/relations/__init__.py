@@ -1,0 +1,15 @@
+"""Finite-relation calculus used to express axiomatic memory models."""
+
+from .builders import bracket, cross, from_order, optional, same, seq, union
+from .relation import Relation
+
+__all__ = [
+    "Relation",
+    "bracket",
+    "cross",
+    "from_order",
+    "optional",
+    "same",
+    "seq",
+    "union",
+]

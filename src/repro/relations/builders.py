@@ -1,0 +1,73 @@
+"""Convenience constructors and combinators for :class:`Relation`.
+
+These mirror the operators used in cat-style memory-model definitions:
+``seq`` for ``;``, ``union`` for ``|``, bracketed sets ``[S]`` via
+:func:`bracket`, etc.  Keeping them as free functions keeps model
+definitions close to their paper notation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Callable
+
+from .relation import Node, Relation
+
+
+def union(*rels: Relation) -> Relation:
+    """The union of any number of relations."""
+    out = Relation()
+    succ = out._succ
+    for rel in rels:
+        for a, bs in rel._succ.items():
+            if bs:
+                existing = succ.get(a)
+                if existing is None:
+                    succ[a] = set(bs)
+                else:
+                    existing.update(bs)
+    return out
+
+
+def seq(*rels: Relation) -> Relation:
+    """Relational composition ``r1 ; r2 ; ... ; rn``."""
+    if not rels:
+        raise ValueError("seq() needs at least one relation")
+    out = rels[0]
+    for rel in rels[1:]:
+        out = out.compose(rel)
+    return out
+
+
+def bracket(nodes: Iterable[Node]) -> Relation:
+    """The cat-notation ``[S]``: identity restricted to a set."""
+    return Relation.identity(nodes)
+
+
+def optional(rel: Relation, nodes: Iterable[Node]) -> Relation:
+    """``rel?`` — the relation or identity, over the universe ``nodes``."""
+    return rel | Relation.identity(nodes)
+
+
+def cross(left: Iterable[Node], right: Iterable[Node]) -> Relation:
+    """``left * right`` in cat notation."""
+    return Relation.product(left, right)
+
+
+def from_order(ordered: Iterable[Node]) -> Relation:
+    """The strict total order given by a sequence."""
+    return Relation.total_order(ordered)
+
+
+def same(key: Callable[[Node], object], nodes: Iterable[Node]) -> Relation:
+    """All pairs of distinct nodes agreeing on ``key`` (e.g. same location)."""
+    groups: dict[object, list[Node]] = {}
+    for n in nodes:
+        groups.setdefault(key(n), []).append(n)
+    out = Relation()
+    for members in groups.values():
+        for a in members:
+            for b in members:
+                if a != b:
+                    out.add(a, b)
+    return out

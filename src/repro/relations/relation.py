@@ -1,0 +1,304 @@
+"""Finite binary relations.
+
+Axiomatic memory models are written in a small relational calculus
+(union, composition, inverse, transitive closure, acyclicity, ...).
+:class:`Relation` implements that calculus over arbitrary hashable
+elements using adjacency sets.
+
+The class is deliberately immutable-by-convention: all operators return
+fresh relations, and in-place mutation is confined to :meth:`add`, which
+the graph-construction code uses while a relation is still private.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from typing import Callable, TypeVar
+
+Node = Hashable
+T = TypeVar("T", bound=Node)
+
+
+class Relation:
+    """A finite binary relation, stored as successor adjacency sets."""
+
+    __slots__ = ("_succ",)
+
+    def __init__(self, pairs: Iterable[tuple[Node, Node]] = ()) -> None:
+        self._succ: dict[Node, set[Node]] = {}
+        for a, b in pairs:
+            self.add(a, b)
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def identity(cls, nodes: Iterable[Node]) -> "Relation":
+        """The identity relation on ``nodes``."""
+        return cls((n, n) for n in nodes)
+
+    @classmethod
+    def product(cls, left: Iterable[Node], right: Iterable[Node]) -> "Relation":
+        """The full cross product ``left x right``."""
+        right_list = list(right)
+        return cls((a, b) for a in left for b in right_list)
+
+    @classmethod
+    def total_order(cls, nodes: Iterable[Node]) -> "Relation":
+        """The strict total order induced by the iteration order of ``nodes``."""
+        ordered = list(nodes)
+        rel = cls()
+        for i, a in enumerate(ordered):
+            for b in ordered[i + 1:]:
+                rel.add(a, b)
+        return rel
+
+    def add(self, a: Node, b: Node) -> None:
+        """Add the pair ``(a, b)``; only for relations not yet shared."""
+        self._succ.setdefault(a, set()).add(b)
+
+    def copy(self) -> "Relation":
+        dup = Relation()
+        dup._succ = {a: set(bs) for a, bs in self._succ.items()}
+        return dup
+
+    # -- queries ---------------------------------------------------------
+
+    def __contains__(self, pair: tuple[Node, Node]) -> bool:
+        a, b = pair
+        return b in self._succ.get(a, ())
+
+    def successors(self, a: Node) -> frozenset[Node]:
+        return frozenset(self._succ.get(a, ()))
+
+    def pairs(self) -> Iterator[tuple[Node, Node]]:
+        for a, bs in self._succ.items():
+            for b in bs:
+                yield (a, b)
+
+    def nodes(self) -> frozenset[Node]:
+        seen: set[Node] = set()
+        for a, bs in self._succ.items():
+            if bs:
+                seen.add(a)
+                seen.update(bs)
+        return frozenset(seen)
+
+    def domain(self) -> frozenset[Node]:
+        return frozenset(a for a, bs in self._succ.items() if bs)
+
+    def range(self) -> frozenset[Node]:
+        out: set[Node] = set()
+        for bs in self._succ.values():
+            out.update(bs)
+        return frozenset(out)
+
+    def __len__(self) -> int:
+        return sum(len(bs) for bs in self._succ.values())
+
+    def __bool__(self) -> bool:
+        return any(self._succ.values())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return set(self.pairs()) == set(other.pairs())
+
+    def __hash__(self) -> int:  # pragma: no cover - relations rarely hashed
+        return hash(frozenset(self.pairs()))
+
+    def __repr__(self) -> str:
+        sample = sorted(map(repr, self.pairs()))[:6]
+        suffix = ", ..." if len(self) > 6 else ""
+        return f"Relation({{{', '.join(sample)}{suffix}}})"
+
+    # -- algebra ----------------------------------------------------------
+
+    def __or__(self, other: "Relation") -> "Relation":
+        out = self.copy()
+        for a, bs in other._succ.items():
+            if bs:
+                existing = out._succ.get(a)
+                if existing is None:
+                    out._succ[a] = set(bs)
+                else:
+                    existing.update(bs)
+        return out
+
+    def __and__(self, other: "Relation") -> "Relation":
+        return Relation(p for p in self.pairs() if p in other)
+
+    def __sub__(self, other: "Relation") -> "Relation":
+        return Relation(p for p in self.pairs() if p not in other)
+
+    def compose(self, other: "Relation") -> "Relation":
+        """Relational composition ``self ; other``."""
+        out = Relation()
+        for a, bs in self._succ.items():
+            targets: set[Node] = set()
+            for b in bs:
+                targets.update(other._succ.get(b, ()))
+            if targets:
+                out._succ[a] = targets
+        return out
+
+    def inverse(self) -> "Relation":
+        return Relation((b, a) for a, b in self.pairs())
+
+    def restrict(self, nodes: Iterable[Node]) -> "Relation":
+        """Restrict both sides to ``nodes``."""
+        keep = set(nodes)
+        return Relation(
+            (a, b) for a, b in self.pairs() if a in keep and b in keep
+        )
+
+    def filter(
+        self,
+        source: Callable[[Node], bool] | None = None,
+        target: Callable[[Node], bool] | None = None,
+    ) -> "Relation":
+        """Keep pairs whose endpoints satisfy the given predicates."""
+        out = Relation()
+        for a, bs in self._succ.items():
+            if source is not None and not source(a):
+                continue
+            kept = {b for b in bs if target is None or target(b)}
+            if kept:
+                out._succ[a] = kept
+        return out
+
+    def without_self_loops(self) -> "Relation":
+        return Relation((a, b) for a, b in self.pairs() if a != b)
+
+    # -- closures and order properties -------------------------------------
+
+    def transitive_closure(self) -> "Relation":
+        """The strict transitive closure ``self+``."""
+        out = Relation()
+        for start in list(self._succ):
+            reach: set[Node] = set()
+            stack = list(self._succ.get(start, ()))
+            while stack:
+                n = stack.pop()
+                if n in reach:
+                    continue
+                reach.add(n)
+                stack.extend(self._succ.get(n, ()))
+            if reach:
+                out._succ[start] = reach
+        return out
+
+    def reflexive_transitive_closure(self, nodes: Iterable[Node]) -> "Relation":
+        """``self*`` over the universe ``nodes``."""
+        return self.transitive_closure() | Relation.identity(nodes)
+
+    def is_irreflexive(self) -> bool:
+        return all(a not in bs for a, bs in self._succ.items())
+
+    def is_acyclic(self) -> bool:
+        """True iff the relation, viewed as a digraph, has no cycle."""
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour: dict[Node, int] = {}
+        for root in self._succ:
+            if colour.get(root, WHITE) != WHITE:
+                continue
+            stack: list[tuple[Node, Iterator[Node]]] = [
+                (root, iter(self._succ.get(root, ())))
+            ]
+            colour[root] = GREY
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    c = colour.get(nxt, WHITE)
+                    if c == GREY:
+                        return False
+                    if c == WHITE:
+                        colour[nxt] = GREY
+                        stack.append((nxt, iter(self._succ.get(nxt, ()))))
+                        advanced = True
+                        break
+                if not advanced:
+                    colour[node] = BLACK
+                    stack.pop()
+        return True
+
+    def find_cycle(self) -> list[Node] | None:
+        """Some cycle in the relation, as a node list (first == last),
+        or None when acyclic.  Used to *explain* axiom violations."""
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour: dict[Node, int] = {}
+        parent: dict[Node, Node] = {}
+        for root in self._succ:
+            if colour.get(root, WHITE) != WHITE:
+                continue
+            stack: list[tuple[Node, Iterator[Node]]] = [
+                (root, iter(self._succ.get(root, ())))
+            ]
+            colour[root] = GREY
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    c = colour.get(nxt, WHITE)
+                    if c == GREY:
+                        cycle = [nxt, node]
+                        walk = node
+                        while walk != nxt:
+                            walk = parent[walk]
+                            cycle.append(walk)
+                        cycle.reverse()
+                        return cycle
+                    if c == WHITE:
+                        colour[nxt] = GREY
+                        parent[nxt] = node
+                        stack.append((nxt, iter(self._succ.get(nxt, ()))))
+                        advanced = True
+                        break
+                if not advanced:
+                    colour[node] = BLACK
+                    stack.pop()
+        return None
+
+    def is_transitive(self) -> bool:
+        return all(
+            c in bs
+            for a, bs in self._succ.items()
+            for b in bs
+            for c in self._succ.get(b, ())
+        )
+
+    def is_total_on(self, nodes: Iterable[Node]) -> bool:
+        """True iff every two distinct nodes are related one way or the other."""
+        ordered = list(nodes)
+        for i, a in enumerate(ordered):
+            for b in ordered[i + 1:]:
+                if (a, b) not in self and (b, a) not in self:
+                    return False
+        return True
+
+    def topological_sort(self, nodes: Iterable[Node]) -> list[Node]:
+        """A topological order of ``nodes`` consistent with the relation.
+
+        Raises :class:`ValueError` when restricted relation is cyclic.
+        """
+        universe = list(nodes)
+        index = {n: i for i, n in enumerate(universe)}
+        indeg = {n: 0 for n in universe}
+        for a, b in self.pairs():
+            if a in indeg and b in indeg and a != b:
+                indeg[b] += 1
+        ready = sorted(
+            (n for n, d in indeg.items() if d == 0), key=index.__getitem__
+        )
+        out: list[Node] = []
+        while ready:
+            n = ready.pop(0)
+            out.append(n)
+            for m in sorted(self._succ.get(n, ()), key=lambda x: index.get(x, -1)):
+                if m in indeg and m != n:
+                    indeg[m] -= 1
+                    if indeg[m] == 0:
+                        ready.append(m)
+        if len(out) != len(universe):
+            raise ValueError("relation is cyclic on the given nodes")
+        return out

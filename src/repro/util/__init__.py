@@ -1,0 +1,5 @@
+"""Utilities: random program generation for differential testing."""
+
+from .randprog import RandomProgramGenerator
+
+__all__ = ["RandomProgramGenerator"]

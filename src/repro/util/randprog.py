@@ -1,0 +1,109 @@
+"""Random small programs, for differential testing.
+
+The generator favours the features that stress the exploration
+algorithm: multiple writes per location (coherence branching), RMWs
+(atomicity), fences of every kind, data/ctrl dependencies (hardware
+prefixes), and mixed access orderings (C11 models).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..events import FenceKind, MemOrder
+from ..lang import Program, ProgramBuilder
+from ..lang.builder import BlockBuilder
+from ..lang.expr import Reg
+
+_ORDERS = [
+    MemOrder.RLX,
+    MemOrder.RLX,
+    MemOrder.ACQ,
+    MemOrder.REL,
+    MemOrder.SC,
+]
+_FENCES = [
+    FenceKind.MFENCE,
+    FenceKind.SYNC,
+    FenceKind.LWSYNC,
+    FenceKind.DMB_LD,
+    FenceKind.DMB_ST,
+    FenceKind.C11,
+]
+
+
+class RandomProgramGenerator:
+    """Generates bounded random concurrent programs."""
+
+    def __init__(
+        self,
+        seed: int,
+        locations: tuple[str, ...] = ("x", "y"),
+        values: tuple[int, ...] = (1, 2),
+        max_threads: int = 3,
+        max_stmts: int = 3,
+        with_rmws: bool = True,
+        with_fences: bool = True,
+        with_deps: bool = True,
+        with_assumes: bool = False,
+    ) -> None:
+        self.rng = random.Random(seed)
+        self.locations = locations
+        self.values = values
+        self.max_threads = max_threads
+        self.max_stmts = max_stmts
+        self.with_rmws = with_rmws
+        self.with_fences = with_fences
+        self.with_deps = with_deps
+        self.with_assumes = with_assumes
+
+    def program(self, index: int) -> Program:
+        rng = self.rng
+        builder = ProgramBuilder(f"rand-{index}")
+        num_threads = rng.randint(2, self.max_threads)
+        for _ in range(num_threads):
+            thread = builder.thread()
+            loaded: list[Reg] = []
+            for _ in range(rng.randint(1, self.max_stmts)):
+                self._statement(rng, thread, loaded)
+        return builder.build()
+
+    def _statement(self, rng: random.Random, block: BlockBuilder, loaded: list[Reg]) -> None:
+        loc = rng.choice(self.locations)
+        order = rng.choice(_ORDERS)
+        choices = ["load", "store", "store"]
+        if self.with_rmws:
+            choices += ["fai", "cas"]
+        if self.with_fences:
+            choices.append("fence")
+        if self.with_deps and loaded:
+            choices += ["dep_store", "ctrl_store"]
+        if self.with_assumes and loaded:
+            choices.append("assume")
+        kind = rng.choice(choices)
+        if kind == "load":
+            loaded.append(block.load(loc, order))
+        elif kind == "store":
+            block.store(loc, rng.choice(self.values), order)
+        elif kind == "fai":
+            loaded.append(block.fai(loc, rng.choice(self.values), order))
+        elif kind == "cas":
+            loaded.append(
+                block.cas(loc, rng.choice((0,) + self.values), rng.choice(self.values), order)
+            )
+        elif kind == "fence":
+            block.fence(rng.choice(_FENCES))
+        elif kind == "dep_store":
+            reg = rng.choice(loaded)
+            block.store(loc, reg + rng.choice(self.values), order)
+        elif kind == "ctrl_store":
+            reg = rng.choice(loaded)
+            value = rng.choice(self.values)
+            block.if_(reg.eq(0), lambda b: b.store(loc, value, order))
+        elif kind == "assume":
+            reg = rng.choice(loaded)
+            block.assume(reg.ne(rng.choice(self.values)))
+
+    def programs(self, count: int):
+        for i in range(count):
+            yield self.program(i)

@@ -1,0 +1,98 @@
+"""Ablation behaviour (experiments A1/A2): what each ingredient of the
+algorithm buys, demonstrated as testable facts."""
+
+from repro import count_executions, verify
+from repro.bench import workloads as W
+from repro.graphs import canonical_key
+from repro.litmus import get_litmus
+
+
+class TestBackwardRevisitsNecessary:
+    def test_sb_loses_relaxed_outcome_without_revisits(self):
+        program = get_litmus("SB").program
+        assert count_executions(program, "tso") == 4
+        assert count_executions(program, "tso", backward_revisits=False) < 4
+
+    def test_lb_impossible_without_revisits(self):
+        program = get_litmus("LB").program
+        full = verify(program, "imm", stop_on_error=False)
+        crippled = verify(
+            program, "imm", stop_on_error=False, backward_revisits=False
+        )
+        assert full.executions == 4
+        assert crippled.executions < full.executions
+
+    def test_error_missed_without_revisits(self):
+        """Peterson's TSO bug needs an early read to observe a later
+        write — precisely a backward revisit."""
+        program = W.peterson(False)
+        with_revisits = verify(program, "tso", stop_on_error=False)
+        without = verify(
+            program, "tso", stop_on_error=False, backward_revisits=False
+        )
+        assert not with_revisits.ok
+        assert len(without.errors) < len(with_revisits.errors)
+
+
+class TestMaximalityCheckPrunes:
+    def test_same_executions_more_duplicates(self):
+        for program in (W.sb_n(3), W.ainc(2)):
+            strict = verify(
+                program, "tso", stop_on_error=False, collect_executions=True
+            )
+            loose = verify(
+                program,
+                "tso",
+                stop_on_error=False,
+                collect_executions=True,
+                maximality_check=False,
+            )
+            strict_keys = {canonical_key(g) for g in strict.execution_graphs}
+            loose_keys = {canonical_key(g) for g in loose.execution_graphs}
+            assert strict_keys == loose_keys, program.name
+            assert loose.duplicates >= strict.duplicates, program.name
+
+    def test_maximality_prunes_revisit_work(self):
+        """With the check off, rejected revisits are built, validated
+        and then thrown away by the state memoisation: pure waste."""
+        from repro.util.randprog import RandomProgramGenerator
+
+        strict_work = loose_work = 0
+        for program in RandomProgramGenerator(seed=42).programs(12):
+            strict = verify(program, "imm", stop_on_error=False)
+            loose = verify(
+                program, "imm", stop_on_error=False, maximality_check=False
+            )
+            assert strict.executions == loose.executions, program.name
+            strict_work += strict.stats.revisits_performed
+            loose_work += loose.stats.revisits_performed
+        assert loose_work >= strict_work
+
+
+class TestIncrementalChecksSaveWork:
+    def test_counts_invariant(self):
+        for model in ("tso", "imm"):
+            program = W.casrot(3)
+            a = verify(program, model, stop_on_error=False)
+            b = verify(
+                program, model, stop_on_error=False, incremental_checks=False
+            )
+            assert a.executions == b.executions, model
+            assert a.blocked <= b.blocked  # late filtering shows up as waste
+
+    def test_incremental_prunes_consistency_checks_earlier(self):
+        program = W.sb_n(3)
+        inc = verify(program, "sc", stop_on_error=False)
+        late = verify(
+            program, "sc", stop_on_error=False, incremental_checks=False
+        )
+        assert inc.executions == late.executions == 7
+
+
+class TestDedupOption:
+    def test_dedup_off_overcounts_for_rmw_chains(self):
+        program = W.ainc(3)
+        on = verify(program, "sc", stop_on_error=False)
+        off = verify(program, "sc", stop_on_error=False, deduplicate=False)
+        assert on.executions == 24
+        assert off.executions >= on.executions

@@ -1,0 +1,31 @@
+"""Tests for the markdown report generator."""
+
+import io
+
+from repro.bench.harness import Row
+from repro.bench.report import _rows_to_markdown, _t1_to_markdown
+
+
+class TestRowsToMarkdown:
+    def test_header_and_row(self):
+        rows = [Row("sb(2)", "tso", "hmc", 4, 0, 0, 0.01, {"duplicates": 0})]
+        lines = _rows_to_markdown(rows)
+        assert lines[0].startswith("| benchmark ")
+        assert "| sb(2) | tso | hmc | 4 | 0 | 0 |" in lines[2]
+        assert "duplicates=0" in lines[2]
+
+
+class TestT1ToMarkdown:
+    def test_matrix_shape(self):
+        cells = [
+            ("SB", m, m != "sc", m != "sc", 4)
+            for m in ("sc", "tso", "pso", "ra", "rc11", "imm", "armv8", "power", "coherence")
+        ]
+        lines = _t1_to_markdown(cells)
+        assert "0 deviations" in lines[0]
+        assert any(line.startswith("| SB | . | x | x") for line in lines)
+
+    def test_deviations_counted(self):
+        cells = [("SB", "sc", True, False, 4)]
+        lines = _t1_to_markdown(cells)
+        assert "1 deviations" in lines[0]

@@ -1,0 +1,140 @@
+"""Unit tests for the program builder and Program introspection."""
+
+import pytest
+
+from repro.events import FenceKind, MemOrder
+from repro.lang import (
+    Assert,
+    Assume,
+    Cas,
+    Fai,
+    Fence,
+    If,
+    Load,
+    ProgramBuilder,
+    Repeat,
+    Store,
+    Xchg,
+    loc,
+)
+
+
+class TestBuilder:
+    def test_threads_get_sequential_ids(self):
+        p = ProgramBuilder("p")
+        assert p.thread().tid == 0
+        assert p.thread().tid == 1
+
+    def test_registers_unique_across_threads(self):
+        p = ProgramBuilder("p")
+        a = p.thread().load("x")
+        b = p.thread().load("x")
+        assert a.name != b.name
+
+    def test_statement_kinds(self):
+        p = ProgramBuilder("p")
+        t = p.thread()
+        t.store("x", 1, MemOrder.REL)
+        r = t.load("y", MemOrder.ACQ)
+        t.cas("l", 0, 1)
+        t.fai("c", 1)
+        t.xchg("s", 5)
+        t.fence(FenceKind.MFENCE)
+        t.assign(r, r + 1)
+        t.assume(r.eq(1))
+        t.assert_(r.eq(1))
+        kinds = [type(s) for s in p.build().threads[0]]
+        assert kinds == [
+            Store, Load, Cas, Fai, Xchg, Fence,
+            type(p.build().threads[0][6]), Assume, Assert,
+        ]
+
+    def test_if_builds_both_branches(self):
+        p = ProgramBuilder("p")
+        t = p.thread()
+        a = t.load("x")
+        t.if_(a.eq(0), lambda b: b.store("y", 1), lambda b: b.store("z", 1))
+        stmt = p.build().threads[0][1]
+        assert isinstance(stmt, If)
+        assert len(stmt.then) == 1 and len(stmt.orelse) == 1
+
+    def test_repeat(self):
+        p = ProgramBuilder("p")
+        t = p.thread()
+        t.repeat(4, lambda b: b.store("x", 1))
+        stmt = p.build().threads[0][0]
+        assert isinstance(stmt, Repeat) and stmt.count == 4
+
+    def test_await_eq_is_load_plus_assume(self):
+        p = ProgramBuilder("p")
+        t = p.thread()
+        t.await_eq("f", 1)
+        stmts = p.build().threads[0]
+        assert isinstance(stmts[0], Load) and isinstance(stmts[1], Assume)
+
+    def test_observe_finds_owner_thread(self):
+        p = ProgramBuilder("p")
+        t0 = p.thread()
+        a = t0.load("x")
+        t1 = p.thread()
+        b = t1.load("x")
+        p.observe(b, a)
+        prog = p.build()
+        assert set(prog.observables) == {(0, a.name), (1, b.name)}
+
+    def test_observe_unknown_register_raises(self):
+        p = ProgramBuilder("p")
+        p.thread().store("x", 1)
+        from repro.lang import Reg
+
+        with pytest.raises(ValueError):
+            p.observe(Reg("ghost"))
+
+    def test_observe_inside_if(self):
+        p = ProgramBuilder("p")
+        t = p.thread()
+        a = t.fresh_reg()
+        t.assign(a, 0)
+        t.if_(a.eq(0), lambda b: b.load("x", into=a))
+        p.observe(a)
+        assert p.build().observables == ((0, a.name),)
+
+
+class TestLoc:
+    def test_plain(self):
+        assert loc("x").base == "x" and loc("x").index is None
+
+    def test_indexed(self):
+        spec = loc(("arr", 3))
+        assert spec.base == "arr" and spec.index is not None
+
+    def test_passthrough(self):
+        spec = loc("x")
+        assert loc(spec) is spec
+
+
+class TestProgram:
+    def test_location_bases(self):
+        p = ProgramBuilder("p")
+        t = p.thread()
+        a = t.load("x")
+        t.if_(a.eq(0), lambda b: b.store("hidden", 1))
+        t.repeat(2, lambda b: b.fai("c", 1))
+        t.cas(("arr", a), 0, 1)
+        prog = p.build()
+        assert prog.location_bases() == ["arr", "c", "hidden", "x"]
+
+    def test_max_events_estimate_upper_bounds(self):
+        p = ProgramBuilder("p")
+        t = p.thread()
+        a = t.load("x")
+        t.if_(a.eq(0), lambda b: b.store("y", 1))
+        t.repeat(2, lambda b: b.fai("c", 1))
+        prog = p.build()
+        # 1 load + 1 branch store + 2 * (read+write) = 6
+        assert prog.max_events_estimate() == 6
+
+    def test_repr(self):
+        p = ProgramBuilder("demo")
+        p.thread()
+        assert "demo" in repr(p.build())

@@ -1,0 +1,138 @@
+"""Tests for the application layer: model diffing, fence synthesis and
+witness linearisation."""
+
+from repro import verify
+from repro.bench.workloads import dekker, peterson, sb_n
+from repro.core.compare import compare_models, new_behaviours
+from repro.core.repair import candidate_points, synthesize_fences
+from repro.core.witness import Witness, format_witness, linearize
+from repro.events import FenceKind
+from repro.lang import ProgramBuilder
+from repro.litmus import get_litmus
+
+
+class TestCompare:
+    def test_sb_sc_vs_tso(self):
+        cmp = compare_models(get_litmus("SB").program, "sc", "tso")
+        assert not cmp.equivalent
+        assert len(cmp.only_right) == 1  # the (0, 0) outcome
+        assert not cmp.only_left
+        outcome = next(iter(cmp.only_right))
+        assert all(v == 0 for _, v in outcome)
+        assert outcome in cmp.witnesses
+        assert "thread 0" in cmp.witnesses[outcome]
+
+    def test_equivalent_when_no_relaxation_matters(self):
+        p = ProgramBuilder("independent")
+        a = p.thread().load("x")
+        b = p.thread().load("y")
+        p.observe(a, b)
+        cmp = compare_models(p.build(), "sc", "power")
+        assert cmp.equivalent
+
+    def test_new_behaviours_direction(self):
+        program = get_litmus("LB").program
+        assert new_behaviours(program, "rc11", "imm")
+        assert not new_behaviours(program, "imm", "rc11")
+
+    def test_summary_mentions_exclusive_outcomes(self):
+        cmp = compare_models(get_litmus("SB").program, "sc", "tso")
+        assert "only under tso" in cmp.summary()
+
+    def test_executions_ratio(self):
+        cmp = compare_models(sb_n(3), "sc", "tso")
+        assert cmp.executions_ratio == 8 / 7
+
+
+class TestRepair:
+    def test_dekker_fixed_with_two_fences(self):
+        result = synthesize_fences(dekker(False), "tso", FenceKind.MFENCE)
+        assert result.placements is not None
+        assert len(result.placements) == 2  # one per thread
+        assert result.repaired is not None
+        assert verify(result.repaired, "tso", stop_on_error=False).ok
+
+    def test_peterson_fixed(self):
+        result = synthesize_fences(
+            peterson(False), "tso", FenceKind.MFENCE, max_fences=2
+        )
+        assert result.placements is not None
+        assert verify(result.repaired, "tso", stop_on_error=False).ok
+
+    def test_already_safe_program(self):
+        result = synthesize_fences(dekker(True), "tso")
+        assert result.already_safe
+        assert result.placements == ()
+        assert "already safe" in result.summary()
+
+    def test_unfixable_reported(self):
+        # assertion false under every schedule: no fence can help
+        p = ProgramBuilder("hopeless")
+        t = p.thread()
+        a = t.load("x")
+        t.assert_(a.eq(99), "never")
+        result = synthesize_fences(p.build(), "sc")
+        assert result.placements is None
+        assert "no sync placement fixes" in result.summary().replace(
+            result.fence.value, "sync"
+        )
+
+    def test_candidate_points_interior_only(self):
+        points = candidate_points(dekker(False))
+        assert all(0 < idx for _, idx in points)
+
+    def test_minimality(self):
+        """Dekker cannot be fixed with a single fence."""
+        result = synthesize_fences(dekker(False), "tso", FenceKind.MFENCE)
+        singles = [c for c in result.placements or ()]
+        assert len(singles) >= 2
+
+
+class TestWitness:
+    def _graphs(self, program, model):
+        return verify(
+            program, model, stop_on_error=False, collect_executions=True
+        ).execution_graphs
+
+    def test_sc_execution_gets_sc_schedule(self):
+        for graph in self._graphs(get_litmus("SB").program, "sc"):
+            witness = linearize(graph)
+            assert witness.exists and witness.strength == "sc"
+
+    def test_relaxed_sb_gets_porf_schedule(self):
+        relaxed = [
+            g
+            for g in self._graphs(get_litmus("SB").program, "tso")
+            if all(g.value_of(r) == 0 for r in g.reads())
+        ]
+        assert relaxed
+        witness = linearize(relaxed[0])
+        assert witness.exists and witness.strength == "porf"
+
+    def test_lb_execution_has_no_schedule(self):
+        cyclic = [
+            g
+            for g in self._graphs(get_litmus("LB").program, "imm")
+            if all(g.value_of(r) == 1 for r in g.reads())
+        ]
+        assert cyclic
+        witness = linearize(cyclic[0])
+        assert not witness.exists
+        assert "no interleaving" in format_witness(cyclic[0])
+
+    def test_format_lists_steps(self):
+        graph = self._graphs(get_litmus("SB").program, "sc")[0]
+        text = format_witness(graph)
+        assert "0. thread" in text.replace("  ", " ")
+        assert "reads" in text
+
+    def test_schedule_respects_po(self):
+        for graph in self._graphs(get_litmus("MP").program, "tso"):
+            witness = linearize(graph)
+            if witness.schedule is None:
+                continue
+            position = {ev: i for i, ev in enumerate(witness.schedule)}
+            for tid in graph.thread_ids():
+                events = graph.thread_events(tid)
+                for a, b in zip(events, events[1:]):
+                    assert position[a] < position[b]

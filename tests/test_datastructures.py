@@ -1,0 +1,91 @@
+"""Verification verdicts for the data-structure workloads.
+
+Each verdict is a memory-model fact worth pinning:
+
+* the Treiber stack needs release/acquire on its CAS/loads;
+* queue publication (data then ready flag) needs rel/acq;
+* the xchg spinlock is the ticket-lock story again;
+* the reader/writer lock embeds an SB shape: acq/rel suffices only on
+  multi-copy-atomic models (TSO, ARMv8) — IMM and POWER need a full
+  fence, which the fence synthesiser finds automatically.
+"""
+
+import pytest
+
+from repro import verify
+from repro.bench.datastructures import (
+    DATA_STRUCTURES,
+    mp_queue,
+    rw_lock,
+    treiber_stack,
+    xchg_spinlock,
+)
+from repro.core.repair import synthesize_fences
+from repro.events import FenceKind, MemOrder
+
+
+class TestTreiberStack:
+    @pytest.mark.parametrize("model", ["sc", "tso", "imm", "armv8"])
+    def test_safe_with_acq_rel(self, model):
+        assert verify(treiber_stack(2, 1), model, stop_on_error=False).ok
+
+    def test_broken_with_rlx_on_imm(self):
+        program = treiber_stack(2, 1, MemOrder.RLX)
+        result = verify(program, "imm", stop_on_error=False)
+        assert not result.ok
+        assert "payload" in result.errors[0].message
+
+    def test_rlx_still_safe_under_sc(self):
+        program = treiber_stack(2, 1, MemOrder.RLX)
+        assert verify(program, "sc", stop_on_error=False).ok
+
+
+class TestMpQueue:
+    @pytest.mark.parametrize("model", ["sc", "rc11", "imm", "armv8"])
+    def test_publication_safe_with_rel_acq(self, model):
+        assert verify(mp_queue(1, 1), model, stop_on_error=False).ok
+
+    def test_rlx_publication_broken_on_power(self):
+        program = mp_queue(1, 1, order=MemOrder.RLX)
+        result = verify(program, "power", stop_on_error=False)
+        assert not result.ok
+
+    def test_two_by_two_under_sc(self):
+        result = verify(mp_queue(2, 2), "sc", stop_on_error=False)
+        assert result.ok and result.executions > 1
+
+
+class TestXchgSpinlock:
+    @pytest.mark.parametrize("model", ["sc", "tso"])
+    def test_rlx_safe_on_strong_models(self, model):
+        assert verify(xchg_spinlock(2, MemOrder.RLX), model, stop_on_error=False).ok
+
+    def test_rlx_broken_on_imm(self):
+        assert not verify(xchg_spinlock(2, MemOrder.RLX), "imm", stop_on_error=False).ok
+
+    @pytest.mark.parametrize("model", ["imm", "armv8"])
+    def test_acq_rel_safe(self, model):
+        assert verify(xchg_spinlock(2), model, stop_on_error=False).ok
+
+
+class TestRwLock:
+    @pytest.mark.parametrize("model", ["sc", "tso", "armv8"])
+    def test_acq_rel_safe_on_mca_models(self, model):
+        assert verify(rw_lock(1, 1), model, stop_on_error=False).ok
+
+    @pytest.mark.parametrize("model", ["imm", "power"])
+    def test_acq_rel_insufficient_on_non_mca(self, model):
+        # the writer-checks-readers / reader-checks-writer handshake is
+        # an SB shape: it needs a store-load fence on non-MCA models
+        assert not verify(rw_lock(1, 1), model, stop_on_error=False).ok
+
+    def test_fence_synthesis_repairs_it(self):
+        fix = synthesize_fences(rw_lock(1, 1), "imm", FenceKind.SYNC, max_fences=2)
+        assert fix.placements is not None and len(fix.placements) == 2
+        assert verify(fix.repaired, "imm", stop_on_error=False).ok
+
+
+def test_registry_complete():
+    assert set(DATA_STRUCTURES) == {"treiber", "mpq", "xchg-lock", "rwlock"}
+    for factory in DATA_STRUCTURES.values():
+        assert factory().num_threads >= 2

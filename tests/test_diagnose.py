@@ -1,0 +1,83 @@
+"""Tests for inconsistency diagnosis and cycle extraction."""
+
+from repro.events import Event, ReadLabel, WriteLabel
+from repro.graphs import ExecutionGraph
+from repro.models import explain_inconsistency, get_model
+from repro.relations import Relation
+
+
+class TestFindCycle:
+    def test_acyclic_returns_none(self):
+        assert Relation([(1, 2), (2, 3)]).find_cycle() is None
+
+    def test_two_cycle(self):
+        cycle = Relation([(1, 2), (2, 1)]).find_cycle()
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        assert set(cycle) == {1, 2}
+
+    def test_self_loop(self):
+        cycle = Relation([(5, 5)]).find_cycle()
+        assert cycle == [5, 5]
+
+    def test_cycle_is_a_real_path(self):
+        rel = Relation([(1, 2), (2, 3), (3, 1), (0, 1)])
+        cycle = rel.find_cycle()
+        for a, b in zip(cycle, cycle[1:]):
+            assert (a, b) in rel
+
+    def test_consistent_with_is_acyclic(self):
+        import random
+
+        rng = random.Random(5)
+        for _ in range(50):
+            pairs = [
+                (rng.randrange(6), rng.randrange(6)) for _ in range(8)
+            ]
+            rel = Relation(pairs)
+            assert (rel.find_cycle() is None) == rel.is_acyclic()
+
+
+class TestExplain:
+    def test_consistent_graph(self):
+        g = ExecutionGraph(["x"])
+        g.add_write(0, WriteLabel(loc="x", value=1))
+        diagnosis = explain_inconsistency(g, get_model("sc"))
+        assert diagnosis.consistent
+        assert str(diagnosis) == "consistent"
+
+    def test_coherence_violation_names_cycle(self):
+        g = ExecutionGraph(["x"])
+        g.ensure_location("x")
+        g._labels[Event(0, 0)] = ReadLabel(loc="x")
+        g._labels[Event(0, 1)] = WriteLabel(loc="x", value=1)
+        g._threads[0] = [Event(0, 0), Event(0, 1)]
+        g._stamp[Event(0, 0)] = 50
+        g._stamp[Event(0, 1)] = 51
+        g._co["x"].append(Event(0, 1))
+        g._rf[Event(0, 0)] = Event(0, 1)  # reads own po-later write
+        diagnosis = explain_inconsistency(g, get_model("sc"))
+        assert not diagnosis.consistent
+        assert "coherence" in diagnosis.axiom
+        assert diagnosis.cycle is not None
+
+    def test_atomicity_violation_named(self):
+        g = ExecutionGraph(["x"])
+        g.add_read(0, ReadLabel(loc="x", exclusive=True), g.init_write("x"))
+        g.add_write(1, WriteLabel(loc="x", value=9))  # co index 1
+        g.add_write(0, WriteLabel(loc="x", value=1, exclusive=True))
+        diagnosis = explain_inconsistency(g, get_model("sc"))
+        assert diagnosis.axiom == "atomicity"
+        assert "intervenes" in diagnosis.detail
+
+    def test_global_axiom_fallback(self):
+        # relaxed SB graph: coherent and atomic but not SC
+        g = ExecutionGraph(["x", "y"])
+        g.add_write(0, WriteLabel(loc="x", value=1))
+        g.add_read(0, ReadLabel(loc="y"), g.init_write("y"))
+        g.add_write(1, WriteLabel(loc="y", value=1))
+        g.add_read(1, ReadLabel(loc="x"), g.init_write("x"))
+        diagnosis = explain_inconsistency(g, get_model("sc"))
+        assert "sc global axiom" in diagnosis.axiom
+        # the same graph is fine one model down
+        assert explain_inconsistency(g, get_model("tso")).consistent

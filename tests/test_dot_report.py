@@ -1,0 +1,72 @@
+"""Tests for the DOT exporter and the JSON report."""
+
+import json
+
+from repro import verify
+from repro.core.report import to_dict, to_json
+from repro.graphs.dot import to_dot
+from repro.lang import ProgramBuilder
+
+
+def sb():
+    p = ProgramBuilder("SB")
+    t1 = p.thread(); t1.store("x", 1); a = t1.load("y")
+    t2 = p.thread(); t2.store("y", 1); b = t2.load("x")
+    p.observe(a, b)
+    return p.build()
+
+
+class TestDot:
+    def graph(self):
+        result = verify(sb(), "tso", stop_on_error=False, collect_executions=True)
+        return result.execution_graphs[0]
+
+    def test_structure(self):
+        dot = to_dot(self.graph(), "sb")
+        assert dot.startswith('digraph "sb"')
+        assert dot.rstrip().endswith("}")
+        assert "cluster_t0" in dot and "cluster_t1" in dot
+        assert "cluster_init" in dot
+
+    def test_edges_present(self):
+        dot = to_dot(self.graph())
+        assert 'label="rf"' in dot
+        assert 'label="co"' in dot
+
+    def test_every_event_is_a_node(self):
+        graph = self.graph()
+        dot = to_dot(graph)
+        for tid in graph.thread_ids():
+            for ev in graph.thread_events(tid):
+                assert f"e{ev.tid}_{ev.index}" in dot
+
+    def test_escaping(self):
+        dot = to_dot(self.graph(), 'weird"name')
+        assert '\\"' in dot
+
+
+class TestReport:
+    def test_round_trips_through_json(self):
+        result = verify(sb(), "tso", stop_on_error=False)
+        payload = json.loads(to_json(result))
+        assert payload["executions"] == 4
+        assert payload["model"] == "tso"
+        assert payload["ok"] is True
+        assert payload["stats"]["reads_added"] > 0
+
+    def test_errors_serialised(self):
+        p = ProgramBuilder("err")
+        t = p.thread()
+        a = t.load("x")
+        t.assert_(a.eq(1), "boom")
+        result = verify(p.build(), "sc")
+        payload = to_dict(result)
+        assert payload["ok"] is False
+        assert payload["errors"][0]["message"] == "boom"
+        assert "thread 0" in payload["errors"][0]["witness"]
+
+    def test_outcome_listing(self):
+        result = verify(sb(), "sc", stop_on_error=False)
+        payload = to_dict(result)
+        assert len(payload["outcomes"]) == 3
+        assert sum(o["count"] for o in payload["outcomes"]) == 3

@@ -1,0 +1,46 @@
+"""Tests for the random-descent exploration estimator."""
+
+from repro import verify
+from repro.core.estimate import estimate_explorations
+from repro.lang import ProgramBuilder
+from repro.litmus import get_litmus
+
+
+class TestEstimator:
+    def test_single_leaf_is_exact(self):
+        p = ProgramBuilder("seq")
+        t = p.thread()
+        t.store("x", 1)
+        t.store("y", 2)
+        est = estimate_explorations(p.build(), "sc", walks=5)
+        assert est.mean == 1.0 and est.std == 0.0
+
+    def test_sb_estimate_matches_leaf_count(self):
+        program = get_litmus("SB").program
+        result = verify(program, "tso", stop_on_error=False)
+        leaves = result.explored + result.blocked
+        est = estimate_explorations(program, "tso", walks=200, seed=1)
+        assert 0.5 * leaves <= est.mean <= 2.0 * leaves
+
+    def test_estimate_scales_with_model(self):
+        program = get_litmus("SB").program
+        sc = estimate_explorations(program, "sc", walks=200, seed=2)
+        tso = estimate_explorations(program, "tso", walks=200, seed=2)
+        assert tso.mean > sc.mean * 0.8  # weaker model, bigger tree
+
+    def test_deterministic_given_seed(self):
+        program = get_litmus("MP").program
+        a = estimate_explorations(program, "imm", walks=20, seed=7)
+        b = estimate_explorations(program, "imm", walks=20, seed=7)
+        assert a == b
+
+    def test_depth_bounded_by_events(self):
+        program = get_litmus("SB").program
+        est = estimate_explorations(program, "sc", walks=10)
+        # 4 program events + 2 initialisation writes
+        assert est.max_depth <= program.max_events_estimate() + 2
+
+    def test_str_mentions_walks(self):
+        program = get_litmus("SB").program
+        est = estimate_explorations(program, "sc", walks=3)
+        assert "3 walks" in str(est)

@@ -1,0 +1,68 @@
+"""Smoke tests: the example scripts must run and tell their stories."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    script = EXAMPLES / name
+    assert script.exists(), script
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "sc    : 3 executions" in out
+    assert "tso   : 4 executions" in out
+
+
+def test_load_buffering():
+    out = run_example("load_buffering.py")
+    assert "LB+plain" in out and "LB+data" in out
+    # the plain row has x under hardware models, dots under rc11
+    plain = next(l for l in out.splitlines() if l.startswith("LB+plain"))
+    assert plain.split()[1:] == [".", "x", "x", "x"]
+
+
+def test_fence_placement():
+    out = run_example("fence_placement.py")
+    assert "unfenced under sc : SAFE" in out.replace("  ", " ")
+    assert "BROKEN" in out
+    assert "witness execution" in out
+    assert "SAFE" in out.split("MFENCE")[-1]
+
+
+def test_fence_synthesis():
+    out = run_example("fence_synthesis.py")
+    assert "safe under tso with 2 x mfence" in out
+    assert "safe under imm with 2 x sync" in out
+
+
+@pytest.mark.slow
+def test_litmus_tour():
+    out = run_example("litmus_tour.py", timeout=400)
+    assert "all verdicts match the published model definitions" in out
+
+
+@pytest.mark.slow
+def test_lock_verification():
+    out = run_example("lock_verification.py", timeout=400)
+    assert "BROKEN" in out and "SAFE" in out
+
+
+@pytest.mark.slow
+def test_model_shootout():
+    out = run_example("model_shootout.py", timeout=400)
+    assert "HMC (graphs)" in out and "store-buffer machine" in out

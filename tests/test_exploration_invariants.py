@@ -1,0 +1,112 @@
+"""Property-based invariants over every graph the explorer produces.
+
+These run the real explorer on random programs and assert structural
+well-formedness of each complete execution graph — the internal
+soundness conditions everything else builds on.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import verify
+from repro.events import ReadLabel, WriteLabel, labels_match
+from repro.graphs.derived import po_loc, rf, co, fr
+from repro.lang import replay
+from repro.relations import union
+from repro.util.randprog import RandomProgramGenerator
+
+MODELS = ("sc", "tso", "imm", "power")
+seeds = st.integers(min_value=0, max_value=500)
+models = st.sampled_from(MODELS)
+
+
+def explored_graphs(seed: int, model: str):
+    gen = RandomProgramGenerator(seed=seed, max_threads=2, max_stmts=2)
+    program = gen.program(0)
+    result = verify(
+        program, model, stop_on_error=False, collect_executions=True
+    )
+    return program, result.execution_graphs
+
+
+@given(seeds, models)
+@settings(max_examples=40, deadline=None)
+def test_rf_well_formed(seed, model):
+    _, graphs = explored_graphs(seed, model)
+    for graph in graphs:
+        for read in graph.reads():
+            src = graph.rf(read)
+            assert src in graph
+            src_label = graph.label(src)
+            assert isinstance(src_label, WriteLabel)
+            assert src_label.loc == graph.label(read).location
+
+
+@given(seeds, models)
+@settings(max_examples=40, deadline=None)
+def test_co_contains_every_write_once(seed, model):
+    _, graphs = explored_graphs(seed, model)
+    for graph in graphs:
+        for loc in graph.locations():
+            order = graph.co_order(loc)
+            assert len(order) == len(set(order))
+            assert order[0].is_initial
+            for w in order:
+                assert graph.label(w).location == loc
+
+
+@given(seeds, models)
+@settings(max_examples=40, deadline=None)
+def test_per_location_coherence_always_holds(seed, model):
+    _, graphs = explored_graphs(seed, model)
+    for graph in graphs:
+        rel = union(po_loc(graph), rf(graph), co(graph), fr(graph))
+        assert rel.is_acyclic()
+
+
+@given(seeds, models)
+@settings(max_examples=40, deadline=None)
+def test_graphs_replay_to_themselves(seed, model):
+    program, graphs = explored_graphs(seed, model)
+    for graph in graphs:
+        for tid in graph.thread_ids():
+            n = graph.thread_size(tid)
+            rep = replay(
+                program.threads[tid], tid, graph.read_values(tid), max_events=n
+            )
+            assert len(rep.labels) == n
+            for ev, label in zip(graph.thread_events(tid), rep.labels):
+                assert labels_match(graph.label(ev), label)
+
+
+@given(seeds, models)
+@settings(max_examples=40, deadline=None)
+def test_exclusive_writes_follow_their_reads(seed, model):
+    _, graphs = explored_graphs(seed, model)
+    for graph in graphs:
+        for ev in graph.events():
+            label = graph.label(ev)
+            if isinstance(label, WriteLabel) and label.exclusive:
+                prev = ev.po_prev()
+                assert prev is not None and prev in graph
+                rlabel = graph.label(prev)
+                assert isinstance(rlabel, ReadLabel) and rlabel.exclusive
+                # atomicity: co-adjacent to the read's source
+                order = graph.co_order(label.loc)
+                assert order.index(ev) == order.index(graph.rf(prev)) + 1
+
+
+@given(seeds)
+@settings(max_examples=30, deadline=None)
+def test_stronger_model_explores_subset(seed):
+    gen = RandomProgramGenerator(seed=seed, max_threads=2, max_stmts=2)
+    program = gen.program(0)
+    from repro.graphs import canonical_key
+
+    def keys(model):
+        result = verify(
+            program, model, stop_on_error=False, collect_executions=True
+        )
+        return {canonical_key(g) for g in result.execution_graphs}
+
+    assert keys("sc") <= keys("tso") <= keys("coherence")

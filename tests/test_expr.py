@@ -1,0 +1,94 @@
+"""Unit tests for DSL expressions and taint tracking."""
+
+import pytest
+
+from repro.events import Event
+from repro.lang import BinOp, Const, EvalError, Reg, Tainted, lift
+
+
+def env(**values):
+    out = {}
+    for name, spec in values.items():
+        if isinstance(spec, tuple):
+            value, taint = spec
+            out[name] = Tainted(value, frozenset(taint))
+        else:
+            out[name] = Tainted(spec, frozenset())
+    return out
+
+
+class TestEvaluation:
+    def test_const(self):
+        assert Const(7).evaluate({}).value == 7
+
+    def test_reg(self):
+        assert Reg("a").evaluate(env(a=3)).value == 3
+
+    def test_unset_reg_raises(self):
+        with pytest.raises(EvalError):
+            Reg("a").evaluate({})
+
+    @pytest.mark.parametrize(
+        "expr, expected",
+        [
+            (Reg("a") + 1, 4),
+            (Reg("a") - 1, 2),
+            (Reg("a") * 2, 6),
+            (Reg("a") % 2, 1),
+            (Reg("a") // 2, 1),
+            (Reg("a") & 1, 1),
+            (Reg("a") | 4, 7),
+            (Reg("a") ^ 1, 2),
+            (Reg("a").eq(3), 1),
+            (Reg("a").ne(3), 0),
+            (Reg("a").lt(4), 1),
+            (Reg("a").le(3), 1),
+            (Reg("a").gt(3), 0),
+            (Reg("a").ge(4), 0),
+            (Reg("a").eq(3).and_(Reg("a").gt(0)), 1),
+            (Reg("a").eq(9).or_(Reg("a").gt(0)), 1),
+        ],
+    )
+    def test_operators(self, expr, expected):
+        assert expr.evaluate(env(a=3)).value == expected
+
+    def test_reverse_operators(self):
+        assert (1 + Reg("a")).evaluate(env(a=3)).value == 4
+        assert (10 - Reg("a")).evaluate(env(a=3)).value == 7
+
+
+class TestTaint:
+    def test_taint_propagates(self):
+        e1, e2 = Event(0, 0), Event(0, 1)
+        result = (Reg("a") + Reg("b")).evaluate(
+            env(a=(1, [e1]), b=(2, [e2]))
+        )
+        assert result.taint == {e1, e2}
+
+    def test_const_untainted(self):
+        assert Const(1).evaluate({}).taint == frozenset()
+
+    def test_mixed_taint(self):
+        e1 = Event(0, 0)
+        result = (Reg("a") * 2 + 5).evaluate(env(a=(1, [e1])))
+        assert result.taint == {e1}
+
+
+class TestLift:
+    def test_int(self):
+        assert isinstance(lift(3), Const)
+
+    def test_bool_coerced(self):
+        assert lift(True).value == 1
+
+    def test_expr_passthrough(self):
+        r = Reg("a")
+        assert lift(r) is r
+
+    def test_rejects_other(self):
+        with pytest.raises(EvalError):
+            lift("nope")
+
+    def test_bad_operator_rejected(self):
+        with pytest.raises(EvalError):
+            BinOp("<<", Const(1), Const(2))

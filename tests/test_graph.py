@@ -1,0 +1,179 @@
+"""Unit tests for execution graphs."""
+
+import pytest
+
+from repro.events import Event, ReadLabel, WriteLabel
+from repro.graphs import ExecutionGraph, GraphError
+
+
+def simple_graph() -> ExecutionGraph:
+    """T0: W x 1; R x  |  T1: W x 2."""
+    g = ExecutionGraph(["x"])
+    w0 = g.add_write(0, WriteLabel(loc="x", value=1))
+    w1 = g.add_write(1, WriteLabel(loc="x", value=2))
+    g.add_read(0, ReadLabel(loc="x"), w1)
+    return g
+
+
+class TestConstruction:
+    def test_init_events(self):
+        g = ExecutionGraph(["x", "y"])
+        assert len(g.init_events()) == 2
+        assert g.locations() == ["x", "y"]
+        assert g.final_value("x") == 0
+
+    def test_ensure_location_idempotent(self):
+        g = ExecutionGraph()
+        first = g.ensure_location("x")
+        assert g.ensure_location("x") == first
+        assert len(g.init_events()) == 1
+
+    def test_add_write_coherence_positions(self):
+        g = ExecutionGraph(["x"])
+        w1 = g.add_write(0, WriteLabel(loc="x", value=1))
+        w2 = g.add_write(1, WriteLabel(loc="x", value=2), co_index=1)
+        order = g.co_order("x")
+        assert order.index(w2) < order.index(w1)
+
+    def test_add_write_bad_index(self):
+        g = ExecutionGraph(["x"])
+        with pytest.raises(GraphError):
+            g.add_write(0, WriteLabel(loc="x", value=1), co_index=0)
+
+    def test_add_read_requires_same_loc_write(self):
+        g = ExecutionGraph(["x", "y"])
+        wy = g.add_write(0, WriteLabel(loc="y", value=1))
+        with pytest.raises(GraphError):
+            g.add_read(1, ReadLabel(loc="x"), wy)
+
+    def test_stamps_monotone(self):
+        g = simple_graph()
+        stamps = [g.stamp(e) for e in g.events_by_stamp()]
+        assert stamps == sorted(stamps)
+
+
+class TestAccessors:
+    def test_thread_events_in_po(self):
+        g = simple_graph()
+        events = g.thread_events(0)
+        assert [e.index for e in events] == [0, 1]
+
+    def test_value_of(self):
+        g = simple_graph()
+        read = g.reads("x")[0]
+        assert g.value_of(read) == 2
+
+    def test_read_values_in_program_order(self):
+        g = simple_graph()
+        assert g.read_values(0) == [2]
+        assert g.read_values(1) == []
+
+    def test_readers_of(self):
+        g = simple_graph()
+        w1 = g.thread_events(1)[0]
+        assert g.readers_of(w1) == g.reads("x")
+
+    def test_final_value_tracks_co(self):
+        g = ExecutionGraph(["x"])
+        g.add_write(0, WriteLabel(loc="x", value=1))
+        g.add_write(1, WriteLabel(loc="x", value=2), co_index=1)
+        assert g.final_value("x") == 1
+
+    def test_exclusive_pair(self):
+        g = ExecutionGraph(["x"])
+        r = g.add_read(0, ReadLabel(loc="x", exclusive=True), g.init_write("x"))
+        w = g.add_write(0, WriteLabel(loc="x", value=1, exclusive=True))
+        assert g.exclusive_pair(r) == w
+        assert g.exclusive_pair(w) == r
+
+    def test_exclusive_pair_absent(self):
+        g = ExecutionGraph(["x"])
+        r = g.add_read(0, ReadLabel(loc="x", exclusive=True), g.init_write("x"))
+        assert g.exclusive_pair(r) is None
+
+
+class TestCopy:
+    def test_copy_independent(self):
+        g = simple_graph()
+        dup = g.copy()
+        dup.add_write(1, WriteLabel(loc="x", value=3))
+        assert len(dup) == len(g) + 1
+
+    def test_copy_preserves_stamps(self):
+        g = simple_graph()
+        dup = g.copy()
+        for ev in g.events():
+            assert dup.stamp(ev) == g.stamp(ev)
+
+
+class TestRestriction:
+    def test_restrict_drops_suffix(self):
+        g = simple_graph()
+        read = g.reads("x")[0]
+        kept = [e for e in g.events() if e != read]
+        sub = g.restricted(kept)
+        assert read not in sub
+        assert len(sub) == len(g) - 1
+
+    def test_restrict_rejects_po_gap(self):
+        g = simple_graph()
+        w0 = g.thread_events(0)[0]
+        keep = [e for e in g.events() if e != w0]  # drops E0.0, keeps E0.1
+        with pytest.raises(GraphError):
+            g.restricted(keep)
+
+    def test_restrict_rejects_dangling_rf(self):
+        g = simple_graph()
+        w1 = g.thread_events(1)[0]
+        keep = [e for e in g.events() if e != w1]
+        with pytest.raises(GraphError):
+            g.restricted(keep)
+
+    def test_restrict_keeps_co_order(self):
+        g = ExecutionGraph(["x"])
+        a = g.add_write(0, WriteLabel(loc="x", value=1))
+        b = g.add_write(1, WriteLabel(loc="x", value=2), co_index=1)
+        sub = g.restricted([a, b])
+        assert sub.co_order("x") == g.co_order("x")
+
+    def test_touch_moves_stamp_to_end(self):
+        g = simple_graph()
+        read = g.reads("x")[0]
+        g.touch(read)
+        assert g.events_by_stamp()[-1] == read
+
+    def test_renumber_compacts(self):
+        g = simple_graph()
+        g.touch(g.reads("x")[0])
+        g.renumber_stamps()
+        stamps = sorted(g.stamp(e) for e in g.events())
+        assert stamps == list(range(len(g)))
+
+
+class TestFromParts:
+    def test_roundtrip(self):
+        labels = {
+            0: [WriteLabel(loc="x", value=1), ReadLabel(loc="x")],
+            1: [WriteLabel(loc="x", value=2)],
+        }
+        g = ExecutionGraph.from_parts(
+            labels,
+            rf_map={},
+            co_orders={"x": [Event(0, 0), Event(1, 0)]},
+        )
+        assert g.thread_size(0) == 2
+        assert g.final_value("x") == 2
+        assert g.co_order("x")[0].is_initial
+
+    def test_rejects_unknown_rf(self):
+        with pytest.raises(GraphError):
+            ExecutionGraph.from_parts(
+                {0: [ReadLabel(loc="x")]},
+                rf_map={Event(0, 0): Event(5, 5)},
+                co_orders={},
+            )
+
+    def test_pretty_contains_events(self):
+        g = simple_graph()
+        text = g.pretty()
+        assert "thread 0" in text and "co[x]" in text

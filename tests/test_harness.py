@@ -1,0 +1,79 @@
+"""Tests for the benchmark harness and experiment drivers."""
+
+from repro.bench import workloads as W
+from repro.bench.harness import (
+    Row,
+    run_brute_force,
+    run_dpor,
+    run_hmc,
+    run_interleaving,
+    run_store_buffer,
+)
+
+
+class TestRunners:
+    def test_run_hmc_row(self):
+        row = run_hmc(W.sb_n(2), "tso")
+        assert row.tool == "hmc"
+        assert row.model == "tso"
+        assert row.executions == 4
+        assert row.time >= 0
+        assert "duplicates" in row.extra
+
+    def test_run_hmc_overrides(self):
+        row = run_hmc(
+            W.sb_n(2), "tso", tool_name="no-revisits", backward_revisits=False
+        )
+        assert row.tool == "no-revisits"
+        assert row.executions < 4
+
+    def test_run_brute_force_row(self):
+        row = run_brute_force(W.sb_n(2), "tso")
+        assert row.executions == 4
+        assert row.extra["candidates"] >= 4
+
+    def test_run_interleaving_row(self):
+        row = run_interleaving(W.sb_n(2))
+        assert row.extra["traces"] == 6
+        assert row.executions == 3
+
+    def test_run_dpor_row(self):
+        row = run_dpor(W.sb_n(2))
+        assert row.executions == 3
+        assert row.extra["traces"] <= 6
+
+    def test_run_store_buffer_row(self):
+        row = run_store_buffer(W.sb_n(2), "tso")
+        assert row.executions == 4
+
+    def test_row_format(self):
+        row = Row("b", "sc", "t", 1, 2, 3, 0.5, {"k": 7})
+        text = row.format()
+        assert "execs=1" in text and "errors=3" in text and "k=7" in text
+
+
+class TestExperimentDrivers:
+    def test_f3_distinguishes_models(self, capsys):
+        from repro.bench.tables import f3_load_buffering
+
+        rows = f3_load_buffering()
+        by_key = {(r.bench, r.model, r.tool): r.executions for r in rows}
+        assert by_key[("lb-chain(2)", "rc11", "hmc")] == 3
+        assert by_key[("lb-chain(2)", "imm", "hmc")] == 4
+        assert by_key[("lb-chain(2)", "imm", "hmc-no-revisit")] < 4
+
+    def test_a1_shows_incompleteness(self, capsys):
+        from repro.bench.tables import a1_ablation_revisits
+
+        rows = a1_ablation_revisits()
+        full = [r for r in rows if r.tool == "hmc"]
+        crippled = [r for r in rows if r.tool == "no-revisits"]
+        for f, c in zip(full, crippled):
+            assert c.executions <= f.executions
+
+    def test_all_experiments_registered(self):
+        from repro.bench.tables import ALL_EXPERIMENTS
+
+        assert set(ALL_EXPERIMENTS) == {
+            "t1", "t2", "t3", "t4", "t5", "t6", "f1", "f2", "f3", "a1", "a2"
+        }

@@ -1,0 +1,209 @@
+"""Unit tests for the dependency-tracking thread interpreter."""
+
+import pytest
+
+from repro.events import Event, FenceKind, MemOrder, ReadLabel, WriteLabel
+from repro.lang import ProgramBuilder, ReplayStatus, replay
+
+
+def build_thread(fill):
+    p = ProgramBuilder("t")
+    t = p.thread()
+    fill(t)
+    return p.build().threads[0]
+
+
+class TestBasicReplay:
+    def test_straight_line_writes(self):
+        stmts = build_thread(lambda t: (t.store("x", 1), t.store("y", 2)))
+        rep = replay(stmts, 0, [])
+        assert rep.status is ReplayStatus.FINISHED
+        assert [lab.loc for lab in rep.labels] == ["x", "y"]
+        assert [lab.value for lab in rep.labels] == [1, 2]
+
+    def test_read_needs_value(self):
+        stmts = build_thread(lambda t: t.load("x"))
+        rep = replay(stmts, 0, [])
+        assert rep.status is ReplayStatus.NEEDS_VALUE
+        assert rep.pending is not None and rep.pending.loc == "x"
+        assert rep.labels == ()
+
+    def test_read_consumes_value(self):
+        def fill(t):
+            a = t.load("x")
+            t.store("y", a + 1)
+
+        stmts = build_thread(fill)
+        rep = replay(stmts, 0, [41])
+        assert rep.status is ReplayStatus.FINISHED
+        assert rep.labels[1].value == 42
+
+    def test_registers_at_finish(self):
+        def fill(t):
+            a = t.load("x", into=None)
+
+        p = ProgramBuilder("t")
+        t = p.thread()
+        a = t.load("x")
+        prog = p.build()
+        rep = replay(prog.threads[0], 0, [7])
+        assert rep.registers[a.name] == 7
+
+    def test_truncation(self):
+        stmts = build_thread(lambda t: (t.store("x", 1), t.store("y", 2)))
+        rep = replay(stmts, 0, [], max_events=1)
+        assert rep.status is ReplayStatus.TRUNCATED
+        assert len(rep.labels) == 1
+
+    def test_determinism(self):
+        def fill(t):
+            a = t.load("x")
+            t.if_(a.eq(1), lambda b: b.store("y", 10), lambda b: b.store("z", 20))
+
+        stmts = build_thread(fill)
+        assert replay(stmts, 0, [1]) == replay(stmts, 0, [1])
+        assert replay(stmts, 0, [1]).labels != replay(stmts, 0, [0]).labels
+
+
+class TestControlFlow:
+    def test_if_branches(self):
+        def fill(t):
+            a = t.load("x")
+            t.if_(a.eq(0), lambda b: b.store("y", 1), lambda b: b.store("y", 2))
+
+        stmts = build_thread(fill)
+        assert replay(stmts, 0, [0]).labels[1].value == 1
+        assert replay(stmts, 0, [5]).labels[1].value == 2
+
+    def test_repeat_unrolls(self):
+        stmts = build_thread(lambda t: t.repeat(3, lambda b: b.store("x", 1)))
+        assert len(replay(stmts, 0, []).labels) == 3
+
+    def test_assume_blocks(self):
+        def fill(t):
+            a = t.load("x")
+            t.assume(a.eq(1))
+            t.store("y", 1)
+
+        stmts = build_thread(fill)
+        blocked = replay(stmts, 0, [0])
+        assert blocked.status is ReplayStatus.BLOCKED
+        assert len(blocked.labels) == 1  # the read happened, the store did not
+        ok = replay(stmts, 0, [1])
+        assert ok.status is ReplayStatus.FINISHED
+
+    def test_assert_fails(self):
+        def fill(t):
+            a = t.load("x")
+            t.assert_(a.eq(1), "x must be 1")
+
+        stmts = build_thread(fill)
+        rep = replay(stmts, 0, [0])
+        assert rep.status is ReplayStatus.ERROR
+        assert rep.error == "x must be 1"
+
+
+class TestRmw:
+    def test_fai_emits_pair(self):
+        p = ProgramBuilder("t")
+        t = p.thread()
+        old = t.fai("c", 2)
+        prog = p.build()
+        rep = replay(prog.threads[0], 0, [5])
+        read, write = rep.labels
+        assert isinstance(read, ReadLabel) and read.exclusive
+        assert isinstance(write, WriteLabel) and write.exclusive
+        assert write.value == 7
+        assert rep.registers[old.name] == 5
+
+    def test_cas_success_and_failure(self):
+        p = ProgramBuilder("t")
+        t = p.thread()
+        ok = t.cas("l", 0, 1)
+        prog = p.build()
+        success = replay(prog.threads[0], 0, [0])
+        assert len(success.labels) == 2 and success.registers[ok.name] == 1
+        failure = replay(prog.threads[0], 0, [3])
+        assert len(failure.labels) == 1 and failure.registers[ok.name] == 0
+
+    def test_cas_old_reg(self):
+        p = ProgramBuilder("t")
+        t = p.thread()
+        old = t.fresh_reg("old")
+        t.cas("l", 0, 1, old_into=old)
+        prog = p.build()
+        rep = replay(prog.threads[0], 0, [9])
+        assert rep.registers[old.name] == 9
+
+    def test_xchg(self):
+        p = ProgramBuilder("t")
+        t = p.thread()
+        old = t.xchg("l", 42)
+        prog = p.build()
+        rep = replay(prog.threads[0], 0, [7])
+        assert rep.labels[1].value == 42
+        assert rep.registers[old.name] == 7
+
+
+class TestDependencies:
+    def test_data_dependency(self):
+        def fill(t):
+            a = t.load("x")
+            t.store("y", a + 1)
+
+        stmts = build_thread(fill)
+        rep = replay(stmts, 0, [0])
+        assert rep.labels[1].data_deps == {Event(0, 0)}
+
+    def test_addr_dependency(self):
+        def fill(t):
+            a = t.load("x")
+            t.load(("arr", a))
+
+        stmts = build_thread(fill)
+        rep = replay(stmts, 0, [2, 0])
+        second = rep.labels[1]
+        assert second.loc == "arr[2]"
+        assert second.addr_deps == {Event(0, 0)}
+
+    def test_ctrl_dependency_is_sticky(self):
+        def fill(t):
+            a = t.load("x")
+            t.if_(a.eq(1), lambda b: b.store("y", 1))
+            t.store("z", 1)  # after the branch: still ctrl-dependent
+
+        stmts = build_thread(fill)
+        rep = replay(stmts, 0, [1])
+        assert rep.labels[1].ctrl_deps == {Event(0, 0)}
+        assert rep.labels[2].ctrl_deps == {Event(0, 0)}
+
+    def test_independent_store_has_no_deps(self):
+        def fill(t):
+            t.load("x")
+            t.store("y", 1)
+
+        stmts = build_thread(fill)
+        rep = replay(stmts, 0, [0])
+        assert rep.labels[1].deps == frozenset()
+
+    def test_fai_write_depends_on_read(self):
+        p = ProgramBuilder("t")
+        t = p.thread()
+        t.fai("c", 1)
+        rep = replay(p.build().threads[0], 0, [0])
+        assert Event(0, 0) in rep.labels[1].data_deps
+
+    def test_cas_write_ctrl_depends_on_read(self):
+        p = ProgramBuilder("t")
+        t = p.thread()
+        t.cas("l", 0, 1)
+        rep = replay(p.build().threads[0], 0, [0])
+        assert Event(0, 0) in rep.labels[1].ctrl_deps
+
+    def test_fence_kinds(self):
+        def fill(t):
+            t.fence(FenceKind.LWSYNC)
+
+        stmts = build_thread(fill)
+        rep = replay(stmts, 0, [])
+        assert rep.labels[0].kind is FenceKind.LWSYNC

@@ -1,0 +1,87 @@
+"""Property-based tests of the interpreter (hypothesis).
+
+The stateless-model-checking contract: per-thread execution is a pure,
+prefix-stable function of the read-value history.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events import ReadLabel, labels_match
+from repro.lang import ProgramBuilder, ReplayStatus, replay
+from repro.util.randprog import RandomProgramGenerator
+
+seeds = st.integers(min_value=0, max_value=10_000)
+values = st.lists(st.integers(min_value=0, max_value=3), max_size=8)
+
+
+def random_thread(seed: int):
+    gen = RandomProgramGenerator(seed=seed, max_threads=2, max_stmts=4)
+    return gen.program(0).threads[0]
+
+
+@given(seeds, values)
+@settings(max_examples=80)
+def test_replay_deterministic(seed, vals):
+    stmts = random_thread(seed)
+    assert replay(stmts, 0, vals) == replay(stmts, 0, vals)
+
+
+@given(seeds, values)
+@settings(max_examples=80)
+def test_replay_prefix_stable(seed, vals):
+    """Extending the value history never changes already-emitted labels."""
+    stmts = random_thread(seed)
+    short = replay(stmts, 0, vals[: max(0, len(vals) - 1)])
+    full = replay(stmts, 0, vals)
+    for a, b in zip(short.labels, full.labels):
+        assert labels_match(a, b)
+
+
+@given(seeds, values)
+@settings(max_examples=80)
+def test_reads_consumed_in_order(seed, vals):
+    stmts = random_thread(seed)
+    rep = replay(stmts, 0, vals)
+    n_reads = sum(1 for lab in rep.labels if isinstance(lab, ReadLabel))
+    assert n_reads <= len(vals) + (
+        1 if rep.status is ReplayStatus.NEEDS_VALUE else 0
+    )
+    if rep.status is ReplayStatus.NEEDS_VALUE:
+        assert n_reads == len(vals)
+
+
+@given(seeds, values)
+@settings(max_examples=80)
+def test_max_events_is_a_prefix(seed, vals):
+    stmts = random_thread(seed)
+    full = replay(stmts, 0, vals)
+    for cut in range(len(full.labels) + 1):
+        part = replay(stmts, 0, vals, max_events=cut)
+        assert len(part.labels) <= cut
+        for a, b in zip(part.labels, full.labels):
+            assert labels_match(a, b)
+
+
+@given(seeds, values)
+@settings(max_examples=60)
+def test_dependencies_point_at_earlier_reads(seed, vals):
+    stmts = random_thread(seed)
+    rep = replay(stmts, 0, vals)
+    read_positions = {
+        i for i, lab in enumerate(rep.labels) if isinstance(lab, ReadLabel)
+    }
+    for i, lab in enumerate(rep.labels):
+        for dep in lab.deps:
+            assert dep.index < i
+            assert dep.index in read_positions
+
+
+@given(values)
+def test_straight_line_thread_ignores_values(vals):
+    p = ProgramBuilder("w")
+    t = p.thread()
+    t.store("x", 1)
+    t.store("y", 2)
+    stmts = p.build().threads[0]
+    assert replay(stmts, 0, vals).labels == replay(stmts, 0, []).labels

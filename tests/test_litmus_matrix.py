@@ -1,0 +1,59 @@
+"""The model-validation suite: every litmus test against every model,
+checked against the literature verdicts (experiment T1).
+
+This is the single most load-bearing test in the repository: it pins
+all nine memory models simultaneously.
+"""
+
+import pytest
+
+from repro.litmus import MODELS, all_litmus_tests, allowed, litmus_names, run_litmus
+
+CASES = [(name, model) for name in litmus_names() for model in MODELS]
+
+
+@pytest.mark.parametrize("name,model", CASES, ids=[f"{n}-{m}" for n, m in CASES])
+def test_litmus_verdict_matches_literature(name, model):
+    from repro.litmus import get_litmus
+
+    test = get_litmus(name)
+    verdict = run_litmus(test, model)
+    expected = allowed(name, model)
+    assert verdict.observed == expected, (
+        f"{name} under {model}: got "
+        f"{'allowed' if verdict.observed else 'forbidden'}, literature says "
+        f"{'allowed' if expected else 'forbidden'}"
+    )
+
+
+def test_corpus_covers_every_family():
+    names = litmus_names()
+    for family in ("SB", "MP", "LB", "IRIW", "WRC", "CoRR", "2xFAI"):
+        assert any(n.startswith(family) for n in names)
+
+
+def test_sc_never_allows_any_probe():
+    """SC is the strongest model: every probed relaxation is forbidden."""
+    for test in all_litmus_tests():
+        assert not allowed(test.name, "sc")
+
+
+def test_coherence_shapes_forbidden_everywhere():
+    for name in ("CoRR", "CoWW", "CoWR", "CoRW1", "2xFAI", "CAS-race"):
+        for model in MODELS:
+            assert not allowed(name, model)
+
+
+def test_monotonicity_tso_weaker_than_sc():
+    """Everything SC allows, TSO allows (witnessed via the corpus)."""
+    for test in all_litmus_tests():
+        if allowed(test.name, "sc"):
+            assert allowed(test.name, "tso")
+
+
+def test_verdict_has_executions():
+    from repro.litmus import get_litmus
+
+    verdict = run_litmus(get_litmus("SB"), "tso")
+    assert verdict.executions == 4
+    assert str(verdict).startswith("SB")

@@ -1,0 +1,107 @@
+"""Tests for the column-style litmus parser."""
+
+import pytest
+
+from repro.litmus.parser import LitmusParseError, parse_litmus
+from repro.litmus.runner import run_litmus
+
+SB = """
+// the classic store-buffering test
+SB-parsed
+{ x=0; y=0 }
+P0          | P1          ;
+x = 1       | y = 1       ;
+r0 = y      | r0 = x      ;
+exists (0:r0=0 /\\ 1:r0=0)
+"""
+
+MP_FENCES = """
+MP+fences-parsed
+P0          | P1          ;
+d = 1       | r0 = f      ;
+mfence      | mfence      ;
+f = 1       | r1 = d      ;
+exists (1:r0=1 /\\ 1:r1=0)
+"""
+
+RMW = """
+2xFAI-parsed
+P0              | P1              ;
+r0 = FAI(c, 1)  | r0 = FAI(c, 1)  ;
+exists (0:r0=0 /\\ 1:r0=0)
+"""
+
+REL_ACQ = """
+MP+rel+acq-parsed
+P0          | P1          ;
+d = 1       | r0 =acq f   ;
+f =rel 1    | r1 = d      ;
+exists (1:r0=1 /\\ 1:r1=0)
+"""
+
+COND = """
+ctrl-parsed
+P0                  | P1        ;
+r0 = y              | y = 1     ;
+if r0 == 1: x = 1   | -         ;
+exists (x=1)
+"""
+
+
+class TestParsing:
+    def test_sb_shape(self):
+        test = parse_litmus(SB)
+        assert test.name == "SB-parsed"
+        assert test.program.num_threads == 2
+        assert len(test.program.threads[0]) == 2
+
+    def test_verdicts_match_builtin(self):
+        test = parse_litmus(SB)
+        assert run_litmus(test, "sc").observed is False
+        assert run_litmus(test, "tso").observed is True
+
+    def test_fences(self):
+        test = parse_litmus(MP_FENCES)
+        assert run_litmus(test, "tso").observed is False
+        assert run_litmus(test, "power").observed is False
+
+    def test_rmw(self):
+        test = parse_litmus(RMW)
+        for model in ("sc", "imm"):
+            assert run_litmus(test, model).observed is False
+
+    def test_orderings(self):
+        test = parse_litmus(REL_ACQ)
+        assert run_litmus(test, "rc11").observed is False
+        assert run_litmus(test, "power").observed is True
+
+    def test_conditional_and_state_probe(self):
+        test = parse_litmus(COND)
+        assert run_litmus(test, "sc").observed is True
+
+
+class TestErrors:
+    def test_empty(self):
+        with pytest.raises(LitmusParseError):
+            parse_litmus("")
+
+    def test_bad_header(self):
+        with pytest.raises(LitmusParseError):
+            parse_litmus("t\nP1 | P0 ;\nx = 1 | y = 1 ;")
+
+    def test_ragged_rows(self):
+        with pytest.raises(LitmusParseError):
+            parse_litmus("t\nP0 | P1 ;\nx = 1 ;")
+
+    def test_unknown_register_in_exists(self):
+        bad = "t\nP0 ;\nx = 1 ;\nexists (0:r9=1)"
+        with pytest.raises(LitmusParseError):
+            parse_litmus(bad)
+
+    def test_register_before_set(self):
+        with pytest.raises(LitmusParseError):
+            parse_litmus("t\nP0 ;\nx = r0 ;")
+
+    def test_bad_ordering_suffix(self):
+        with pytest.raises(LitmusParseError):
+            parse_litmus("t\nP0 ;\nx =wild 1 ;")

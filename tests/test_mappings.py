@@ -1,0 +1,125 @@
+"""Compilation-mapping tests: the IMM story, end to end.
+
+The standard C11 -> hardware compilation schemes must not introduce
+behaviours the *source* model forbids.  Checking both directions over
+the litmus corpus reproduces the central result of the IMM line of
+work:
+
+* against **IMM** the mappings are sound on every corpus entry;
+* against **RC11** the relaxed-access mapping is *unsound*, witnessed
+  exactly by load buffering (LB) — the discrepancy IMM was invented
+  to close.
+"""
+
+import pytest
+
+from repro import verify
+from repro.events import FenceKind, MemOrder
+from repro.lang import Fence, Load, ProgramBuilder, Store
+from repro.lang.mappings import compile_to, mapping_targets
+from repro.litmus import all_litmus_tests, get_litmus
+
+TARGETS = ("tso", "power", "armv8")
+
+
+def outcomes(program, model):
+    result = verify(program, model, stop_on_error=False)
+    return set(result.outcomes), set(result.final_states)
+
+
+class TestMappingShapes:
+    def test_targets(self):
+        assert mapping_targets() == ["armv8", "power", "tso"]
+
+    def test_unknown_target(self):
+        with pytest.raises(KeyError):
+            compile_to(get_litmus("SB").program, "riscv")
+
+    def test_x86_sc_store_gets_mfence(self):
+        p = ProgramBuilder("s")
+        p.thread().store("x", 1, MemOrder.SC)
+        compiled = compile_to(p.build(), "tso")
+        kinds = [type(s) for s in compiled.threads[0]]
+        assert kinds == [Store, Fence]
+        assert compiled.threads[0][0].order is MemOrder.RLX
+        assert compiled.threads[0][1].kind is FenceKind.MFENCE
+
+    def test_power_release_store_gets_lwsync(self):
+        p = ProgramBuilder("s")
+        p.thread().store("x", 1, MemOrder.REL)
+        compiled = compile_to(p.build(), "power")
+        first, second = compiled.threads[0]
+        assert isinstance(first, Fence) and first.kind is FenceKind.LWSYNC
+        assert second.order is MemOrder.RLX
+
+    def test_power_acquire_load_gets_isync(self):
+        p = ProgramBuilder("s")
+        p.thread().load("x", MemOrder.ACQ)
+        compiled = compile_to(p.build(), "power")
+        first, second = compiled.threads[0]
+        assert isinstance(first, Load) and first.order is MemOrder.RLX
+        assert second.kind is FenceKind.ISYNC
+
+    def test_armv8_is_native(self):
+        p = ProgramBuilder("s")
+        p.thread().store("x", 1, MemOrder.REL)
+        compiled = compile_to(p.build(), "armv8")
+        assert compiled.threads[0][0].order is MemOrder.REL
+
+    def test_mapping_recurses_into_branches(self):
+        p = ProgramBuilder("s")
+        t = p.thread()
+        a = t.load("x")
+        t.if_(a.eq(0), lambda b: b.store("y", 1, MemOrder.REL))
+        compiled = compile_to(p.build(), "power")
+        branch = compiled.threads[0][1]
+        assert isinstance(branch.then[0], Fence)
+
+    def test_observables_preserved(self):
+        program = get_litmus("MP+rel+acq").program
+        compiled = compile_to(program, "power")
+        assert compiled.observables == program.observables
+
+
+class TestSoundnessAgainstImm:
+    @pytest.mark.parametrize("target", TARGETS)
+    def test_corpus_inclusion(self, target):
+        """behaviours(compile(P), target) ⊆ behaviours(P, imm)."""
+        for test in all_litmus_tests():
+            src_out, src_fin = outcomes(test.program, "imm")
+            tgt_out, tgt_fin = outcomes(compile_to(test.program, target), target)
+            assert tgt_out <= src_out, (test.name, target)
+            assert tgt_fin <= src_fin, (test.name, target)
+
+    def test_annotated_programs_keep_their_guarantees(self):
+        """MP with rel/acq stays forbidden after compilation."""
+        program = get_litmus("MP+rel+acq").program
+        for target in TARGETS:
+            result = verify(compile_to(program, target), target, stop_on_error=False)
+            stale = {
+                tuple(v for _, v in o) for o in result.outcomes
+            }
+            assert (1, 0) not in stale, target
+
+
+class TestRc11Gap:
+    def test_lb_witnesses_rc11_unsoundness(self):
+        """The famous discrepancy: compiled relaxed LB exhibits (1,1)
+        on hardware, which RC11 forbids at the source level."""
+        program = get_litmus("LB").program
+        src_out, _ = outcomes(program, "rc11")
+        for target in ("power", "armv8"):
+            tgt_out, _ = outcomes(compile_to(program, target), target)
+            assert not (tgt_out <= src_out), target
+
+    def test_everything_else_on_corpus_is_rc11_sound(self):
+        bad = []
+        for test in all_litmus_tests():
+            src_out, src_fin = outcomes(test.program, "rc11")
+            for target in TARGETS:
+                tgt_out, tgt_fin = outcomes(
+                    compile_to(test.program, target), target
+                )
+                if not (tgt_out <= src_out and tgt_fin <= src_fin):
+                    bad.append((test.name, target))
+        assert set(bad) == {("LB", "power"), ("LB", "armv8")}

@@ -1,0 +1,106 @@
+"""Odds and ends: option limits, report strings, small branches."""
+
+import pytest
+
+from repro import ExplorationOptions, Explorer, verify
+from repro.core.result import ErrorReport, Stats
+from repro.lang import ProgramBuilder
+from repro.models import get_model
+
+
+class TestLimits:
+    def test_max_events_safety_bound(self):
+        p = ProgramBuilder("wide")
+        for _ in range(3):
+            t = p.thread()
+            for v in (1, 2):
+                t.store("x", v)
+        result = verify(p.build(), "sc", stop_on_error=False, max_events=4)
+        assert result.truncated
+
+    def test_max_explored_counts_duplicates(self):
+        from repro.bench.workloads import ainc
+
+        result = verify(
+            ainc(3), "sc", stop_on_error=False, max_explored=10
+        )
+        assert result.truncated
+        assert result.explored >= 10
+
+
+class TestStrings:
+    def test_error_report_str(self):
+        report = ErrorReport("boom", 2, "witness text")
+        assert "thread 2" in str(report) and "boom" in str(report)
+
+    def test_stats_as_dict_complete(self):
+        stats = Stats()
+        d = stats.as_dict()
+        assert d["events_added"] == 0
+        assert "revisits_performed" in d
+
+    def test_summary_lists_first_error(self):
+        p = ProgramBuilder("e")
+        t = p.thread()
+        a = t.load("x")
+        t.assert_(a.eq(1), "nope")
+        result = verify(p.build(), "sc")
+        assert "first error" in result.summary()
+
+    def test_model_repr(self):
+        assert repr(get_model("imm")) == "<model imm>"
+
+
+class TestEmptyAndDegenerate:
+    def test_zero_thread_program(self):
+        p = ProgramBuilder("none")
+        result = verify(p.build(), "sc", stop_on_error=False)
+        assert result.executions == 1
+
+    def test_fence_only_thread(self):
+        from repro.events import FenceKind
+
+        p = ProgramBuilder("fences")
+        t = p.thread()
+        t.fence(FenceKind.SYNC)
+        t.fence(FenceKind.LWSYNC)
+        result = verify(p.build(), "power", stop_on_error=False)
+        assert result.executions == 1
+
+    def test_read_only_program_all_models(self):
+        p = ProgramBuilder("reads")
+        regs = []
+        for _ in range(2):
+            t = p.thread()
+            regs.append(t.load("x"))
+        p.observe(*regs)
+        for model in ("sc", "power"):
+            result = verify(p.build(), model, stop_on_error=False)
+            assert result.executions == 1  # only the initial value exists
+
+    def test_assume_false_always_blocked(self):
+        p = ProgramBuilder("never")
+        t = p.thread()
+        r = t.fresh_reg()
+        t.assign(r, 0)
+        t.assume(r.eq(1))
+        result = verify(p.build(), "sc", stop_on_error=False)
+        assert result.executions == 0 and result.blocked == 1
+
+
+class TestExplorerApiEdges:
+    def test_unknown_model_raises(self):
+        p = ProgramBuilder("x")
+        p.thread().store("x", 1)
+        with pytest.raises(KeyError):
+            Explorer(p.build(), "not-a-model", ExplorationOptions())
+
+    def test_collect_executions_graphs_are_complete(self):
+        p = ProgramBuilder("g")
+        t = p.thread()
+        t.store("x", 1)
+        result = verify(
+            p.build(), "sc", stop_on_error=False, collect_executions=True
+        )
+        (graph,) = result.execution_graphs
+        assert graph.thread_size(0) == 1

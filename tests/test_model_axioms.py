@@ -1,0 +1,135 @@
+"""Targeted axiom tests on hand-built graphs — the decisive shapes per
+model, constructed directly so failures localise to the axiom code
+(the litmus matrix covers the same ground end-to-end)."""
+
+from repro.events import (
+    FenceKind,
+    FenceLabel,
+    MemOrder,
+    ReadLabel,
+    WriteLabel,
+)
+from repro.graphs import ExecutionGraph
+from repro.models import get_model
+
+
+def mp_graph(writer_fence=None, stale=True, write_order=MemOrder.RLX,
+             read_order=MemOrder.RLX):
+    """W d; [F]; W f  ||  R f (from W f); R d (stale or fresh)."""
+    g = ExecutionGraph(["d", "f"])
+    wd = g.add_write(0, WriteLabel(loc="d", value=1))
+    if writer_fence is not None:
+        g.add_fence(0, FenceLabel(kind=writer_fence))
+    wf = g.add_write(0, WriteLabel(loc="f", value=1, order=write_order))
+    g.add_read(1, ReadLabel(loc="f", order=read_order), wf)
+    g.add_read(1, ReadLabel(loc="d"), g.init_write("d") if stale else wd)
+    return g
+
+
+def sb_fenced_graph(kind):
+    g = ExecutionGraph(["x", "y"])
+    g.add_write(0, WriteLabel(loc="x", value=1))
+    g.add_fence(0, FenceLabel(kind=kind))
+    g.add_read(0, ReadLabel(loc="y"), g.init_write("y"))
+    g.add_write(1, WriteLabel(loc="y", value=1))
+    g.add_fence(1, FenceLabel(kind=kind))
+    g.add_read(1, ReadLabel(loc="x"), g.init_write("x"))
+    return g
+
+
+class TestTso:
+    def test_stale_mp_forbidden(self):
+        assert not get_model("tso").is_consistent(mp_graph())
+
+    def test_fresh_mp_allowed(self):
+        assert get_model("tso").is_consistent(mp_graph(stale=False))
+
+    def test_sb_with_mfence_forbidden(self):
+        assert not get_model("tso").is_consistent(
+            sb_fenced_graph(FenceKind.MFENCE)
+        )
+
+    def test_sb_with_store_fence_allowed(self):
+        assert get_model("tso").is_consistent(
+            sb_fenced_graph(FenceKind.DMB_ST)
+        )
+
+
+class TestPso:
+    def test_stale_mp_allowed(self):
+        assert get_model("pso").is_consistent(mp_graph())
+
+    def test_dmb_st_restores_mp(self):
+        assert not get_model("pso").is_consistent(
+            mp_graph(writer_fence=FenceKind.DMB_ST)
+        )
+
+
+class TestPower:
+    def test_lwsync_forbids_mp(self):
+        # needs the reader ordered too: build with reader-side deps via
+        # the litmus corpus; here writer-only lwsync leaves it allowed
+        g = mp_graph(writer_fence=FenceKind.LWSYNC)
+        assert get_model("power").is_consistent(g)
+
+    def test_sync_alone_on_writer_still_allows(self):
+        g = mp_graph(writer_fence=FenceKind.SYNC)
+        assert get_model("power").is_consistent(g)
+
+    def test_annotations_ignored(self):
+        g = mp_graph(write_order=MemOrder.REL, read_order=MemOrder.ACQ)
+        assert get_model("power").is_consistent(g)
+        assert not get_model("rc11").is_consistent(g)
+
+
+class TestRc11AndRa:
+    def test_rel_acq_mp_forbidden(self):
+        g = mp_graph(write_order=MemOrder.REL, read_order=MemOrder.ACQ)
+        assert not get_model("rc11").is_consistent(g)
+
+    def test_rlx_mp_allowed_under_rc11(self):
+        assert get_model("rc11").is_consistent(mp_graph())
+
+    def test_ra_forbids_even_rlx(self):
+        # the RA model synchronises every rf edge
+        assert not get_model("ra").is_consistent(mp_graph())
+
+
+class TestArmv8:
+    def test_stlr_ldar_orders_sb(self):
+        g = ExecutionGraph(["x", "y"])
+        g.add_write(0, WriteLabel(loc="x", value=1, order=MemOrder.SC))
+        g.add_read(0, ReadLabel(loc="y", order=MemOrder.SC), g.init_write("y"))
+        g.add_write(1, WriteLabel(loc="y", value=1, order=MemOrder.SC))
+        g.add_read(1, ReadLabel(loc="x", order=MemOrder.SC), g.init_write("x"))
+        assert not get_model("armv8").is_consistent(g)
+        # relaxed accesses: plain SB stays allowed
+        assert get_model("armv8").is_consistent(mp_graph())
+
+    def test_rcsc_vs_rcpc_separation(self):
+        """SB with rel/acq accesses: ARMv8 compiles them to stlr/ldar,
+        which are RCsc ([L];po;[A] ordered) — forbidden; IMM gives
+        rel/acq only RCpc strength — allowed.  This is a real
+        ARMv8/IMM gap (IMM must be weaker for compilation soundness)."""
+        g = ExecutionGraph(["x", "y"])
+        g.add_write(0, WriteLabel(loc="x", value=1, order=MemOrder.REL))
+        g.add_read(0, ReadLabel(loc="y", order=MemOrder.ACQ), g.init_write("y"))
+        g.add_write(1, WriteLabel(loc="y", value=1, order=MemOrder.REL))
+        g.add_read(1, ReadLabel(loc="x", order=MemOrder.ACQ), g.init_write("x"))
+        assert not get_model("armv8").is_consistent(g)
+        assert get_model("imm").is_consistent(g)
+
+
+class TestImmPsc:
+    def test_sc_accesses_restore_sb(self):
+        g = ExecutionGraph(["x", "y"])
+        g.add_write(0, WriteLabel(loc="x", value=1, order=MemOrder.SC))
+        g.add_read(0, ReadLabel(loc="y", order=MemOrder.SC), g.init_write("y"))
+        g.add_write(1, WriteLabel(loc="y", value=1, order=MemOrder.SC))
+        g.add_read(1, ReadLabel(loc="x", order=MemOrder.SC), g.init_write("x"))
+        assert not get_model("imm").is_consistent(g)
+
+    def test_full_fences_restore_sb(self):
+        assert not get_model("imm").is_consistent(
+            sb_fenced_graph(FenceKind.SYNC)
+        )

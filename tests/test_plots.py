@@ -1,0 +1,40 @@
+"""Tests for the ASCII figure renderer."""
+
+from repro.bench.harness import Row
+from repro.bench.plots import f1_figure, render_series
+
+
+class TestRenderSeries:
+    def test_empty(self):
+        assert "(no data)" in render_series({}, title="t")
+
+    def test_marks_and_legend(self):
+        chart = render_series(
+            {"a": [(2, 10), (3, 100)], "b": [(2, 1000), (3, 100000)]},
+            title="demo",
+        )
+        assert chart.startswith("demo")
+        assert "o = a" in chart and "x = b" in chart
+        assert "10^" in chart
+        assert chart.count("o") >= 2  # both points plotted (plus legend)
+
+    def test_higher_values_plot_higher(self):
+        chart = render_series({"a": [(1, 1), (2, 100000)]})
+        rows = [line for line in chart.splitlines() if "|" in line]
+        first_mark = next(i for i, line in enumerate(rows) if "o" in line)
+        last_mark = max(i for i, line in enumerate(rows) if "o" in line)
+        assert first_mark < last_mark  # big value near the top
+
+
+class TestF1Figure:
+    def test_from_rows(self):
+        rows = [
+            Row("sb(2)", "sc", "hmc", 3, 0, 0, 0.0, {}),
+            Row("sb(3)", "sc", "hmc", 7, 0, 0, 0.0, {}),
+            Row("sb(2)", "sc", "interleaving", 3, 0, 0, 0.0, {"traces": 6}),
+            Row("sb(3)", "sc", "interleaving", 7, 0, 0, 0.0, {"traces": 90}),
+            Row("ainc(2)", "sc", "hmc", 6, 0, 0, 0.0, {}),  # ignored
+        ]
+        chart = f1_figure(rows)
+        assert "hmc (sc)" in chart and "interleaving" in chart
+        assert "vs n" in chart

@@ -1,0 +1,116 @@
+"""Unit tests for prefix closures, restriction sets and canonical hashing."""
+
+from repro.events import Event, ReadLabel, WriteLabel
+from repro.graphs import (
+    ExecutionGraph,
+    canonical_key,
+    deleted_set,
+    final_state,
+    porf_prefix,
+    replay_closure,
+    revisit_kept_set,
+    rf_key,
+)
+
+
+def chain_graph():
+    """T0: W x 1  |  T1: R x (from W); W y 1  |  T2: R y (from W y)."""
+    g = ExecutionGraph(["x", "y"])
+    wx = g.add_write(0, WriteLabel(loc="x", value=1))
+    rx = g.add_read(1, ReadLabel(loc="x"), wx)
+    wy = g.add_write(1, WriteLabel(loc="y", value=1))
+    ry = g.add_read(2, ReadLabel(loc="y"), wy)
+    return g, wx, rx, wy, ry
+
+
+class TestPorfPrefix:
+    def test_follows_rf_and_po(self):
+        g, wx, rx, wy, ry = chain_graph()
+        prefix = porf_prefix(g, ry)
+        assert prefix == {ry, wy, rx, wx}
+
+    def test_prefix_of_root_is_self(self):
+        g, wx, *_ = chain_graph()
+        assert porf_prefix(g, wx) == {wx}
+
+    def test_replay_closure_multiple_roots(self):
+        g, wx, rx, wy, ry = chain_graph()
+        assert replay_closure(g, [rx]) == {rx, wx}
+
+
+class TestRevisitSets:
+    def test_kept_set_contains_old_and_needed(self):
+        g = ExecutionGraph(["x"])
+        r = g.add_read(0, ReadLabel(loc="x"), g.init_write("x"))
+        w1 = g.add_write(1, WriteLabel(loc="x", value=1))
+        w2 = g.add_write(1, WriteLabel(loc="x", value=2))
+        kept = revisit_kept_set(g, w2, r)
+        # w1 is a po-predecessor of the revisiting write: it must stay
+        assert {r, w1, w2} <= kept
+
+    def test_deleted_set_excludes_prefix(self):
+        g = ExecutionGraph(["x", "y"])
+        r = g.add_read(0, ReadLabel(loc="x"), g.init_write("x"))
+        wy = g.add_write(1, WriteLabel(loc="y", value=1))  # unrelated, newer
+        wx = g.add_write(2, WriteLabel(loc="x", value=1))
+        deleted = deleted_set(g, wx, r)
+        assert deleted == {wy}
+
+
+class TestCanonicalKey:
+    def test_equal_behaviour_equal_key(self):
+        g1, *_ = chain_graph()
+        g2, *_ = chain_graph()
+        assert canonical_key(g1) == canonical_key(g2)
+
+    def test_rf_change_changes_key(self):
+        g1, wx, rx, wy, ry = chain_graph()
+        g2 = g1.copy()
+        g2.set_rf(ry, g2.init_write("y"))
+        assert canonical_key(g1) != canonical_key(g2)
+
+    def test_co_change_changes_key(self):
+        def two_writes(flip):
+            g = ExecutionGraph(["x"])
+            g.add_write(0, WriteLabel(loc="x", value=1))
+            g.add_write(1, WriteLabel(loc="x", value=2), co_index=1 if flip else 2)
+            return g
+
+        assert canonical_key(two_writes(True)) != canonical_key(two_writes(False))
+
+    def test_key_ignores_untouched_locations(self):
+        g1, *_ = chain_graph()
+        g2, *_ = chain_graph()
+        g2.ensure_location("never_written")
+        assert canonical_key(g1) == canonical_key(g2)
+
+    def test_key_stable_across_init_creation_order(self):
+        def build(order):
+            g = ExecutionGraph(order)
+            wx = g.add_write(0, WriteLabel(loc="x", value=1))
+            g.add_read(1, ReadLabel(loc="y"), g.init_write("y"))
+            return g
+
+        assert canonical_key(build(["x", "y"])) == canonical_key(build(["y", "x"]))
+
+    def test_rf_key_ignores_co(self):
+        def two_writes(flip):
+            g = ExecutionGraph(["x"])
+            g.add_write(0, WriteLabel(loc="x", value=1))
+            g.add_write(1, WriteLabel(loc="x", value=2), co_index=1 if flip else 2)
+            return g
+
+        assert rf_key(two_writes(True)) == rf_key(two_writes(False))
+
+
+class TestFinalState:
+    def test_reports_written_locations_only(self):
+        g, *_ = chain_graph()
+        g.ensure_location("z")
+        assert final_state(g) == (("x", 1), ("y", 1))
+
+    def test_tracks_coherence_last(self):
+        g = ExecutionGraph(["x"])
+        g.add_write(0, WriteLabel(loc="x", value=1))
+        g.add_write(1, WriteLabel(loc="x", value=2), co_index=1)
+        assert final_state(g) == (("x", 1),)

@@ -1,0 +1,48 @@
+"""Tests for the random program generator used in differential testing."""
+
+from repro.lang import Program
+from repro.util.randprog import RandomProgramGenerator
+
+
+class TestGenerator:
+    def test_deterministic_given_seed(self):
+        a = RandomProgramGenerator(seed=3).program(0)
+        b = RandomProgramGenerator(seed=3).program(0)
+        assert repr(a.threads) == repr(b.threads)
+
+    def test_different_seeds_differ(self):
+        programs = {
+            str(RandomProgramGenerator(seed=s).program(0).threads)
+            for s in range(10)
+        }
+        assert len(programs) > 1
+
+    def test_respects_thread_bound(self):
+        gen = RandomProgramGenerator(seed=1, max_threads=2)
+        for program in gen.programs(20):
+            assert 2 <= program.num_threads <= 2 or program.num_threads == 2
+
+    def test_feature_toggles(self):
+        from repro.lang import Cas, Fai, Fence
+
+        gen = RandomProgramGenerator(
+            seed=1, with_rmws=False, with_fences=False, max_stmts=4
+        )
+        for program in gen.programs(20):
+            for thread in program.threads:
+                for st in thread:
+                    assert not isinstance(st, (Cas, Fai, Fence))
+
+    def test_programs_are_programs(self):
+        gen = RandomProgramGenerator(seed=9)
+        for program in gen.programs(5):
+            assert isinstance(program, Program)
+            assert program.location_bases()
+
+    def test_programs_verifiable(self):
+        from repro import verify
+
+        gen = RandomProgramGenerator(seed=11, max_stmts=2)
+        for program in gen.programs(5):
+            result = verify(program, "sc", stop_on_error=False)
+            assert result.executions >= 1

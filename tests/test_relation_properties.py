@@ -1,0 +1,73 @@
+"""Property-based tests of the relation calculus (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relations import Relation, seq, union
+
+nodes = st.integers(min_value=0, max_value=7)
+pairs = st.tuples(nodes, nodes)
+relations = st.lists(pairs, max_size=25).map(Relation)
+
+
+@given(relations)
+def test_closure_is_transitive(rel):
+    assert rel.transitive_closure().is_transitive()
+
+
+@given(relations)
+def test_closure_is_idempotent(rel):
+    once = rel.transitive_closure()
+    assert once.transitive_closure() == once
+
+
+@given(relations)
+def test_closure_contains_relation(rel):
+    closed = rel.transitive_closure()
+    assert all(p in closed for p in rel.pairs())
+
+
+@given(relations)
+def test_acyclic_iff_closure_irreflexive(rel):
+    assert rel.is_acyclic() == rel.transitive_closure().is_irreflexive()
+
+
+@given(relations, relations)
+def test_union_commutes(a, b):
+    assert (a | b) == (b | a)
+
+
+@given(relations, relations, relations)
+@settings(max_examples=50)
+def test_compose_distributes_over_union(a, b, c):
+    left = seq(a, union(b, c))
+    right = union(seq(a, b), seq(a, c))
+    assert left == right
+
+
+@given(relations)
+def test_double_inverse_is_identity(rel):
+    assert rel.inverse().inverse() == rel
+
+
+@given(relations, relations)
+def test_inverse_antidistributes_over_compose(a, b):
+    assert seq(a, b).inverse() == seq(b.inverse(), a.inverse())
+
+
+@given(relations)
+def test_restrict_to_nodes_is_noop(rel):
+    assert rel.restrict(rel.nodes()) == rel
+
+
+@given(relations)
+def test_acyclic_subrelation_of_total_order(rel):
+    """Any subrelation of < over ints is acyclic."""
+    below = Relation((a, b) for a, b in rel.pairs() if a < b)
+    assert below.is_acyclic()
+
+
+@given(st.lists(nodes, unique=True, max_size=8))
+def test_topological_sort_respects_order(ordered):
+    rel = Relation.total_order(ordered)
+    assert rel.topological_sort(list(reversed(ordered))) == ordered

@@ -1,0 +1,185 @@
+"""Unit tests for the relation calculus."""
+
+import pytest
+
+from repro.relations import (
+    Relation,
+    bracket,
+    cross,
+    from_order,
+    optional,
+    same,
+    seq,
+    union,
+)
+
+
+class TestConstruction:
+    def test_empty(self):
+        rel = Relation()
+        assert len(rel) == 0
+        assert not rel
+        assert rel.nodes() == frozenset()
+
+    def test_pairs_roundtrip(self):
+        pairs = {(1, 2), (2, 3), (1, 3)}
+        rel = Relation(pairs)
+        assert set(rel.pairs()) == pairs
+        assert len(rel) == 3
+        assert rel
+
+    def test_identity(self):
+        rel = Relation.identity([1, 2, 3])
+        assert set(rel.pairs()) == {(1, 1), (2, 2), (3, 3)}
+
+    def test_product(self):
+        rel = Relation.product([1, 2], ["a", "b"])
+        assert len(rel) == 4
+        assert (1, "a") in rel and (2, "b") in rel
+
+    def test_total_order(self):
+        rel = Relation.total_order([3, 1, 2])
+        assert (3, 1) in rel and (3, 2) in rel and (1, 2) in rel
+        assert (2, 1) not in rel
+        assert len(rel) == 3
+
+    def test_copy_is_independent(self):
+        rel = Relation([(1, 2)])
+        dup = rel.copy()
+        dup.add(2, 3)
+        assert (2, 3) not in rel
+
+
+class TestQueries:
+    def test_contains(self):
+        rel = Relation([(1, 2)])
+        assert (1, 2) in rel
+        assert (2, 1) not in rel
+
+    def test_successors(self):
+        rel = Relation([(1, 2), (1, 3)])
+        assert rel.successors(1) == frozenset({2, 3})
+        assert rel.successors(9) == frozenset()
+
+    def test_domain_range(self):
+        rel = Relation([(1, 2), (3, 2)])
+        assert rel.domain() == frozenset({1, 3})
+        assert rel.range() == frozenset({2})
+
+    def test_equality(self):
+        assert Relation([(1, 2)]) == Relation([(1, 2)])
+        assert Relation([(1, 2)]) != Relation([(2, 1)])
+
+
+class TestAlgebra:
+    def test_union(self):
+        rel = Relation([(1, 2)]) | Relation([(2, 3)])
+        assert set(rel.pairs()) == {(1, 2), (2, 3)}
+
+    def test_intersection(self):
+        rel = Relation([(1, 2), (2, 3)]) & Relation([(2, 3), (3, 4)])
+        assert set(rel.pairs()) == {(2, 3)}
+
+    def test_difference(self):
+        rel = Relation([(1, 2), (2, 3)]) - Relation([(2, 3)])
+        assert set(rel.pairs()) == {(1, 2)}
+
+    def test_compose(self):
+        rel = Relation([(1, 2)]).compose(Relation([(2, 3), (2, 4)]))
+        assert set(rel.pairs()) == {(1, 3), (1, 4)}
+
+    def test_compose_empty_when_disjoint(self):
+        assert not Relation([(1, 2)]).compose(Relation([(3, 4)]))
+
+    def test_inverse(self):
+        assert set(Relation([(1, 2)]).inverse().pairs()) == {(2, 1)}
+
+    def test_restrict(self):
+        rel = Relation([(1, 2), (2, 3)]).restrict({1, 2})
+        assert set(rel.pairs()) == {(1, 2)}
+
+    def test_filter(self):
+        rel = Relation([(1, 2), (2, 4), (3, 6)])
+        odd_sources = rel.filter(source=lambda n: n % 2 == 1)
+        assert set(odd_sources.pairs()) == {(1, 2), (3, 6)}
+
+    def test_without_self_loops(self):
+        rel = Relation([(1, 1), (1, 2)]).without_self_loops()
+        assert set(rel.pairs()) == {(1, 2)}
+
+
+class TestClosures:
+    def test_transitive_closure(self):
+        rel = Relation([(1, 2), (2, 3)]).transitive_closure()
+        assert (1, 3) in rel
+        assert (3, 1) not in rel
+
+    def test_transitive_closure_cycle(self):
+        rel = Relation([(1, 2), (2, 1)]).transitive_closure()
+        assert (1, 1) in rel and (2, 2) in rel
+
+    def test_reflexive_transitive_closure(self):
+        rel = Relation([(1, 2)]).reflexive_transitive_closure([1, 2, 3])
+        assert (3, 3) in rel and (1, 2) in rel and (1, 1) in rel
+
+    def test_is_acyclic(self):
+        assert Relation([(1, 2), (2, 3)]).is_acyclic()
+        assert not Relation([(1, 2), (2, 1)]).is_acyclic()
+        assert not Relation([(1, 1)]).is_acyclic()
+
+    def test_is_irreflexive(self):
+        assert Relation([(1, 2)]).is_irreflexive()
+        assert not Relation([(1, 1)]).is_irreflexive()
+
+    def test_is_transitive(self):
+        assert Relation([(1, 2), (2, 3), (1, 3)]).is_transitive()
+        assert not Relation([(1, 2), (2, 3)]).is_transitive()
+
+    def test_is_total_on(self):
+        rel = Relation([(1, 2), (2, 3), (1, 3)])
+        assert rel.is_total_on([1, 2, 3])
+        assert not rel.is_total_on([1, 2, 3, 4])
+
+    def test_topological_sort(self):
+        rel = Relation([(1, 2), (2, 3)])
+        assert rel.topological_sort([3, 2, 1]) == [1, 2, 3]
+
+    def test_topological_sort_cycle_raises(self):
+        with pytest.raises(ValueError):
+            Relation([(1, 2), (2, 1)]).topological_sort([1, 2])
+
+    def test_topological_sort_ignores_outside_edges(self):
+        rel = Relation([(1, 2), (5, 6)])
+        assert rel.topological_sort([1, 2]) == [1, 2]
+
+
+class TestBuilders:
+    def test_seq(self):
+        rel = seq(Relation([(1, 2)]), Relation([(2, 3)]), Relation([(3, 4)]))
+        assert set(rel.pairs()) == {(1, 4)}
+
+    def test_seq_requires_args(self):
+        with pytest.raises(ValueError):
+            seq()
+
+    def test_union_many(self):
+        rel = union(Relation([(1, 2)]), Relation([(2, 3)]), Relation([(1, 2)]))
+        assert len(rel) == 2
+
+    def test_bracket(self):
+        assert set(bracket([1, 2]).pairs()) == {(1, 1), (2, 2)}
+
+    def test_optional(self):
+        rel = optional(Relation([(1, 2)]), [1, 2, 3])
+        assert (3, 3) in rel and (1, 2) in rel
+
+    def test_cross(self):
+        assert len(cross([1, 2], [3, 4])) == 4
+
+    def test_from_order(self):
+        assert (1, 3) in from_order([1, 2, 3])
+
+    def test_same(self):
+        rel = same(lambda n: n % 2, [1, 2, 3, 4])
+        assert (1, 3) in rel and (3, 1) in rel and (2, 4) in rel
+        assert (1, 2) not in rel and (1, 1) not in rel

@@ -1,0 +1,99 @@
+"""Unit tests for the store-buffer machine's internals."""
+
+from repro.baselines.storebuffer import (
+    _BufState,
+    _buffered_value,
+    _flush_candidates,
+    explore_store_buffers,
+)
+from repro.events import Event
+from repro.lang import ProgramBuilder
+
+
+def state_with_buffer(buffer):
+    return _BufState(
+        read_values=[()],
+        memory={},
+        last_writer={},
+        co={},
+        rf={},
+        labels={0: []},
+        buffers={0: list(buffer)},
+    )
+
+
+class TestFlushCandidates:
+    def test_empty_buffer(self):
+        state = state_with_buffer([])
+        assert _flush_candidates(state, "tso", 0) == []
+
+    def test_tso_is_fifo(self):
+        state = state_with_buffer(
+            [("x", 1, Event(0, 0)), ("y", 2, Event(0, 1)), ("x", 3, Event(0, 2))]
+        )
+        assert _flush_candidates(state, "tso", 0) == [0]
+
+    def test_pso_one_head_per_location(self):
+        state = state_with_buffer(
+            [("x", 1, Event(0, 0)), ("y", 2, Event(0, 1)), ("x", 3, Event(0, 2))]
+        )
+        assert _flush_candidates(state, "pso", 0) == [0, 1]
+
+
+class TestForwarding:
+    def test_newest_own_store_wins(self):
+        state = state_with_buffer(
+            [("x", 1, Event(0, 0)), ("x", 2, Event(0, 1))]
+        )
+        value, ev = _buffered_value(state, 0, "x")
+        assert value == 2 and ev == Event(0, 1)
+
+    def test_no_entry_returns_none(self):
+        state = state_with_buffer([("y", 1, Event(0, 0))])
+        assert _buffered_value(state, 0, "x") is None
+
+
+class TestSemantics:
+    def test_own_store_forwarded_before_flush(self):
+        """A thread reads its own buffered store (no IRIW-style magic)."""
+        p = ProgramBuilder("fwd")
+        t = p.thread()
+        t.store("x", 7)
+        a = t.load("x")
+        p.observe(a)
+        result = explore_store_buffers(p.build(), "tso")
+        # in every schedule the load sees 7 (buffer or memory)
+        assert result.executions == 1
+
+    def test_fence_waits_for_empty_buffer(self):
+        p = ProgramBuilder("fence")
+        t1 = p.thread()
+        t1.store("x", 1)
+        from repro.events import FenceKind
+
+        t1.fence(FenceKind.MFENCE)
+        a = t1.load("y")
+        t2 = p.thread()
+        t2.store("y", 1)
+        b = t2.load("x")
+        p.observe(a, b)
+        result = explore_store_buffers(p.build(), "tso")
+        # one-sided fence still leaves the relaxed outcome via thread 2
+        assert result.executions == 4
+
+    def test_sb_counts_match_axiomatic_tso(self):
+        from repro import count_executions
+        from repro.litmus import get_litmus
+
+        program = get_litmus("SB").program
+        op = explore_store_buffers(program, "tso")
+        assert op.executions == count_executions(program, "tso") == 4
+
+    def test_blocked_assume_counted(self):
+        p = ProgramBuilder("blocked")
+        t = p.thread()
+        a = t.load("x")
+        t.assume(a.eq(1))
+        p.thread().store("x", 1)
+        result = explore_store_buffers(p.build(), "tso")
+        assert result.blocked > 0 and result.executions == 1

@@ -1,0 +1,134 @@
+"""Behavioural tests for the benchmark workloads: the verification
+verdicts every workload is *designed* to produce (experiment T5's
+ground truth)."""
+
+import pytest
+
+from repro import count_executions, verify
+from repro.bench import workloads as W
+
+
+class TestCounting:
+    def test_sb_n_counts(self):
+        # n reads with 2 rf choices each; SC forbids exactly the
+        # all-stale assignment
+        assert count_executions(W.sb_n(2), "sc") == 3
+        assert count_executions(W.sb_n(2), "tso") == 4
+        assert count_executions(W.sb_n(3), "sc") == 7
+        assert count_executions(W.sb_n(3), "tso") == 8
+
+    def test_ainc_counts_are_factorial_times_read(self):
+        # 2 updates in either order x 3 rf choices for the checker read
+        assert count_executions(W.ainc(2), "sc") == 6
+        # 3! orders x 4 choices
+        assert count_executions(W.ainc(3), "sc") == 24
+
+    def test_readers_counts(self):
+        assert count_executions(W.readers(2), "sc") == 4
+        assert count_executions(W.readers(3), "armv8") == 8
+
+    def test_casrot_single_winner(self):
+        # thread 0's CAS(0->1) always succeeds; thread 1's CAS(1->2)
+        # either observes it (and fires) or reads the initial 0 (fails)
+        result = verify(W.casrot(2), "sc", stop_on_error=False)
+        assert result.executions == 2
+
+    def test_ninc_lost_update(self):
+        result = verify(W.ninc(2), "sc", stop_on_error=False)
+        states = {dict(s)["c"] for s in result.final_states}
+        assert states == {1, 2}  # the lost update shows up as c=1
+
+
+class TestLocksSafe:
+    @pytest.mark.parametrize("model", ["sc", "tso", "armv8"])
+    def test_relaxed_ticket_lock_safe_on_strong_models(self, model):
+        # TSO keeps W->W and R->R order; ARMv8's multi-copy atomicity
+        # (coe/fre inside ob) also suffices — cross-checked against the
+        # brute-force ground truth
+        assert verify(W.ticket_lock(2), model, stop_on_error=False).ok
+
+    @pytest.mark.parametrize("model", ["imm", "power"])
+    def test_relaxed_ticket_lock_broken_on_weak_models(self, model):
+        # with rlx accesses the unlock does not order the critical
+        # section's writes: the next owner can observe them reordered
+        assert not verify(W.ticket_lock(2), model, stop_on_error=False).ok
+
+    @pytest.mark.parametrize("model", ["sc", "tso", "ra", "rc11", "imm", "armv8"])
+    def test_acq_rel_ticket_lock_safe(self, model):
+        from repro.events import MemOrder
+
+        program = W.ticket_lock(2, MemOrder.ACQ_REL)
+        assert verify(program, model, stop_on_error=False).ok
+
+    @pytest.mark.parametrize("model", ["sc", "tso"])
+    def test_relaxed_ttas_lock_safe_on_strong_models(self, model):
+        assert verify(W.ttas_lock(2), model, stop_on_error=False).ok
+
+    @pytest.mark.parametrize("model", ["imm", "armv8"])
+    def test_acq_rel_ttas_lock_safe_on_weak_models(self, model):
+        from repro.events import MemOrder
+
+        program = W.ttas_lock(2, MemOrder.ACQ_REL)
+        assert verify(program, model, stop_on_error=False).ok
+
+    def test_ticket_lock_three_threads(self):
+        result = verify(W.ticket_lock(3), "sc", stop_on_error=False)
+        assert result.ok and result.executions > 0
+
+
+class TestFencePlacement:
+    def test_peterson_safe_under_sc(self):
+        assert verify(W.peterson(False), "sc", stop_on_error=False).ok
+
+    def test_peterson_broken_under_tso(self):
+        result = verify(W.peterson(False), "tso", stop_on_error=False)
+        assert not result.ok
+
+    def test_peterson_fixed_by_mfence(self):
+        assert verify(W.peterson(True), "tso", stop_on_error=False).ok
+
+    def test_dekker_safe_sc_broken_tso_fixed_fence(self):
+        assert verify(W.dekker(False), "sc", stop_on_error=False).ok
+        assert not verify(W.dekker(False), "tso", stop_on_error=False).ok
+        assert verify(W.dekker(True), "tso", stop_on_error=False).ok
+
+    def test_seqlock_safe_with_annotations(self):
+        for model in ("sc", "tso", "ra", "rc11", "imm", "armv8"):
+            assert verify(W.seqlock(1, 1), model, stop_on_error=False).ok, model
+
+    def test_seqlock_broken_on_power(self):
+        # POWER ignores C11 annotations: the snapshot can tear
+        result = verify(W.seqlock(1, 1), "power", stop_on_error=False)
+        assert not result.ok
+
+
+class TestSynchronisation:
+    def test_mp_chain_delivers_data(self):
+        result = verify(W.mp_chain(2), "sc", stop_on_error=False)
+        assert result.executions == 1
+        assert all(v == 42 for key in result.outcomes for _, v in key)
+
+    def test_barrier_safe_with_acq_rel(self):
+        for model in ("sc", "ra", "imm"):
+            assert verify(W.barrier(2), model, stop_on_error=False).ok, model
+
+    def test_indexer_both_inserted(self):
+        result = verify(W.indexer(2), "sc", stop_on_error=False)
+        for state in result.final_states:
+            values = {v for loc, v in state if loc.startswith("tab")}
+            assert values == {1, 2}
+
+    def test_lastzero_counts_grow_with_model(self):
+        sc = count_executions(W.lastzero(2), "sc")
+        imm = count_executions(W.lastzero(2), "imm")
+        assert imm >= sc > 0
+
+    def test_fib_has_executions(self):
+        assert count_executions(W.fib_bench(2), "sc") == 19
+
+
+class TestFamiliesTable:
+    def test_families_all_buildable(self):
+        for name, family in W.FAMILIES.items():
+            program = family(2)
+            assert program.num_threads >= 1, name
