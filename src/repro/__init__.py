@@ -28,6 +28,7 @@ from .core.repair import synthesize_fences
 from .events import FenceKind, MemOrder
 from .lang import Program, ProgramBuilder
 from .models import MemoryModel, all_models, get_model, model_names
+from .obs import Observer, ProgressReporter
 
 __version__ = "1.0.0"
 
@@ -40,8 +41,10 @@ __all__ = [
     "FenceKind",
     "MemOrder",
     "MemoryModel",
+    "Observer",
     "Program",
     "ProgramBuilder",
+    "ProgressReporter",
     "VerificationResult",
     "all_models",
     "count_executions",

@@ -44,8 +44,14 @@ def _dependent(a: tuple[str, bool] | None, b: tuple[str, bool] | None) -> bool:
     return a[0] == b[0] and (a[1] or b[1])
 
 
-def explore_dpor(program: Program, max_traces: int | None = None) -> DporResult:
-    """Sleep-set DPOR exploration of ``program`` under SC."""
+def explore_dpor(
+    program: Program, max_traces: int | None = None, progress=None
+) -> DporResult:
+    """Sleep-set DPOR exploration of ``program`` under SC.
+
+    ``progress`` may be a :class:`repro.obs.ProgressReporter`; it is
+    ticked once per maximal schedule.
+    """
     result = DporResult(program.name)
     initial = _State(
         read_values=[() for _ in range(program.num_threads)],
@@ -55,7 +61,9 @@ def explore_dpor(program: Program, max_traces: int | None = None) -> DporResult:
         rf={},
         labels={tid: [] for tid in range(program.num_threads)},
     )
-    _visit(program, initial, frozenset(), result, max_traces)
+    _visit(program, initial, frozenset(), result, max_traces, progress)
+    if progress is not None:
+        progress.finish(traces=result.traces, executions=result.executions)
     return result
 
 
@@ -80,6 +88,7 @@ def _visit(
     sleep: frozenset[int],
     result: DporResult,
     max_traces: int | None,
+    progress=None,
 ) -> None:
     if max_traces is not None and result.traces >= max_traces:
         return
@@ -99,6 +108,10 @@ def _visit(
             result.blocked += 1
         else:
             _record(program, state, result)
+        if progress is not None:
+            progress.tick(
+                traces=result.traces, executions=result.executions
+            )
         return
     if not runnable:
         result.slept += 1
@@ -118,5 +131,5 @@ def _visit(
             if t in pending
             and not _dependent(_footprint(label), _footprint(pending[t][1]))
         )
-        _visit(program, successor, child_sleep, result, max_traces)
+        _visit(program, successor, child_sleep, result, max_traces, progress)
         current_sleep.add(tid)

@@ -68,8 +68,13 @@ def brute_force(
     program: Program,
     model: MemoryModel | str,
     max_candidates: int = 2_000_000,
+    progress=None,
 ) -> BruteForceResult:
-    """Enumerate and filter all candidate executions of ``program``."""
+    """Enumerate and filter all candidate executions of ``program``.
+
+    ``progress`` may be a :class:`repro.obs.ProgressReporter`; it is
+    ticked once per thread-resolution combo.
+    """
     model = get_model(model) if isinstance(model, str) else model
     result = BruteForceResult(program.name, model.name)
     domain = _value_domain(program)
@@ -83,8 +88,16 @@ def brute_force(
         _check_candidates(
             program, model, combo, value_vectors, result, max_candidates
         )
+        if progress is not None:
+            progress.tick(
+                candidates=result.candidates, executions=result.executions
+            )
         if result.candidates > max_candidates:
             raise RuntimeError("brute force exceeded the candidate budget")
+    if progress is not None:
+        progress.finish(
+            candidates=result.candidates, executions=result.executions
+        )
     return result
 
 

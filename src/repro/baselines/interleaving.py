@@ -63,9 +63,15 @@ class _State:
 
 
 def explore_interleavings(
-    program: Program, max_traces: int | None = None
+    program: Program,
+    max_traces: int | None = None,
+    progress=None,
 ) -> InterleavingResult:
-    """Enumerate all SC schedules of ``program``."""
+    """Enumerate all SC schedules of ``program``.
+
+    ``progress`` may be a :class:`repro.obs.ProgressReporter`; it is
+    ticked once per maximal schedule.
+    """
     result = InterleavingResult(program.name)
     initial = _State(
         read_values=[() for _ in range(program.num_threads)],
@@ -89,8 +95,14 @@ def explore_interleavings(
             result.blocked += 1
         else:
             _record(program, state, result)
+        if progress is not None:
+            progress.tick(
+                traces=result.traces, executions=result.executions
+            )
         if max_traces is not None and result.traces >= max_traces:
             break
+    if progress is not None:
+        progress.finish(traces=result.traces, executions=result.executions)
     return result
 
 

@@ -42,8 +42,14 @@ def _freeze(memory: dict, logs: tuple, counts: tuple) -> tuple:
     return (tuple(sorted(memory.items())), logs, counts)
 
 
-def explore_with_state_hashing(program: Program) -> StateHashResult:
-    """Explore all SC-reachable states of ``program`` with memoisation."""
+def explore_with_state_hashing(
+    program: Program, progress=None
+) -> StateHashResult:
+    """Explore all SC-reachable states of ``program`` with memoisation.
+
+    ``progress`` may be a :class:`repro.obs.ProgressReporter`; it is
+    ticked once per terminal state.
+    """
     result = StateHashResult(program.name)
     n = program.num_threads
     initial = ({}, tuple(() for _ in range(n)), tuple(0 for _ in range(n)))
@@ -73,6 +79,10 @@ def explore_with_state_hashing(program: Program) -> StateHashResult:
                 result.blocked += 1
             else:
                 result.final_states.add(tuple(sorted(memory.items())))
+            if progress is not None:
+                progress.tick(terminal=result.terminal, states=result.states)
+    if progress is not None:
+        progress.finish(terminal=result.terminal, states=result.states)
     return result
 
 

@@ -70,9 +70,14 @@ def explore_store_buffers(
     program: Program,
     model: str = "tso",
     max_traces: int | None = None,
+    progress=None,
 ) -> StoreBufferResult:
     """Enumerate all schedules of ``program`` over store-buffer
-    machines (``model`` is ``"tso"`` or ``"pso"``)."""
+    machines (``model`` is ``"tso"`` or ``"pso"``).
+
+    ``progress`` may be a :class:`repro.obs.ProgressReporter`; it is
+    ticked once per maximal schedule.
+    """
     if model not in ("tso", "pso"):
         raise ValueError("store-buffer semantics exist for tso/pso only")
     result = StoreBufferResult(program.name, memory_model=model)
@@ -101,8 +106,14 @@ def explore_store_buffers(
             result.blocked += 1
         else:
             _record(program, state, result)
+        if progress is not None:
+            progress.tick(
+                traces=result.traces, executions=result.executions
+            )
         if max_traces is not None and result.traces >= max_traces:
             break
+    if progress is not None:
+        progress.finish(traces=result.traces, executions=result.executions)
     return result
 
 

@@ -3,7 +3,9 @@
 from . import workloads
 from .harness import (
     Row,
+    format_phases,
     print_table,
+    rows_to_json,
     run_brute_force,
     run_dpor,
     run_hmc,
@@ -16,9 +18,11 @@ from .tables import ALL_EXPERIMENTS
 __all__ = [
     "ALL_EXPERIMENTS",
     "f1_figure",
+    "format_phases",
     "render_series",
     "Row",
     "print_table",
+    "rows_to_json",
     "run_brute_force",
     "run_dpor",
     "run_hmc",

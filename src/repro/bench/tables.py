@@ -206,15 +206,17 @@ def a1_ablation_revisits() -> list[Row]:
 
 def a2_ablation_incremental() -> list[Row]:
     """A2: incremental consistency checking off — same counts, more
-    wasted exploration."""
+    wasted exploration.  Instrumented, so the table shows *where* each
+    variant spends its time (axiom checks vs replay vs revisits)."""
     rows: list[Row] = []
     for program in (W.ainc(3), W.casrot(3), W.sb_n(3)):
-        rows.append(run_hmc(program, "imm", tool_name="hmc"))
+        rows.append(run_hmc(program, "imm", tool_name="hmc", instrument=True))
         rows.append(
             run_hmc(
                 program,
                 "imm",
                 tool_name="no-incremental",
+                instrument=True,
                 incremental_checks=False,
             )
         )

@@ -11,6 +11,11 @@
     hmc repair dekker --model tso        # synthesise missing fences
     hmc experiment t3                    # regenerate a table/figure
     hmc models                           # list memory models
+    hmc verify SB --model tso --stats --trace-out run.jsonl --progress
+                                         # instrumented run: counters,
+                                         # per-phase times, JSONL trace,
+                                         # stderr heartbeat
+    hmc trace-summary run.jsonl          # paper-style table from a trace
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from . import __version__
 from .bench import ALL_EXPERIMENTS, run_hmc, workloads
 from .bench.datastructures import DATA_STRUCTURES
 from .core import ExplorationOptions, Explorer
@@ -27,6 +33,15 @@ from .events import FenceKind
 from .litmus import allowed, get_litmus, litmus_names, run_litmus
 from .litmus.parser import parse_litmus
 from .models import get_model, model_names
+from .obs import (
+    NULL_OBSERVER,
+    FileSink,
+    Observer,
+    ProgressReporter,
+    TraceWriter,
+    format_summary,
+    summarize_file,
+)
 
 
 def _find_program(family: str, n: int):
@@ -36,12 +51,40 @@ def _find_program(family: str, n: int):
     factory = DATA_STRUCTURES.get(family)
     if factory is not None:
         return factory(n)
-    return None
+    # fall back to the litmus corpus so e.g. `verify SB` works
+    try:
+        return get_litmus(family).program
+    except KeyError:
+        return None
 
 
 def _unknown_family(family: str) -> str:
     known = ", ".join(sorted(list(workloads.FAMILIES) + list(DATA_STRUCTURES)))
-    return f"unknown family {family!r}; known: {known}"
+    return (
+        f"unknown family {family!r}; known: {known} "
+        f"(litmus test names are accepted too)"
+    )
+
+
+def _observer_from_args(args) -> Observer | None:
+    """Build an Observer from `--stats/--trace-out/--progress`, or None
+    when none of them was given."""
+    stats = getattr(args, "stats", False)
+    trace_out = getattr(args, "trace_out", None)
+    progress = getattr(args, "progress", None)
+    if not stats and trace_out is None and progress is None:
+        return None
+    reporter = (
+        ProgressReporter(every_seconds=progress) if progress is not None else None
+    )
+    trace = None
+    if trace_out is not None:
+        try:
+            trace = TraceWriter(FileSink(trace_out))
+        except OSError as exc:
+            print(f"cannot write trace to {trace_out}: {exc}", file=sys.stderr)
+            raise SystemExit(2)
+    return Observer(trace=trace, progress=reporter)
 
 
 def _cmd_models(_args) -> int:
@@ -84,8 +127,22 @@ def _cmd_verify(args) -> int:
         print(_unknown_family(args.family), file=sys.stderr)
         return 2
     options = ExplorationOptions(stop_on_error=not args.keep_going)
-    result = Explorer(program, get_model(args.model), options).run()
+    observer = _observer_from_args(args)
+    try:
+        result = Explorer(
+            program,
+            get_model(args.model),
+            options,
+            observer=observer if observer is not None else NULL_OBSERVER,
+        ).run()
+    finally:
+        if observer is not None:
+            observer.close()
     print(result.summary())
+    if args.stats:
+        print(result.stats_summary())
+    if args.trace_out:
+        print(f"trace written to {args.trace_out}")
     if result.errors:
         error = result.errors[0]
         print("\nwitness:")
@@ -152,6 +209,24 @@ def _cmd_estimate(args) -> int:
     return 0
 
 
+def _cmd_trace_summary(args) -> int:
+    try:
+        summary = summarize_file(args.path)
+    except OSError as exc:
+        print(f"cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"malformed trace: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        import json
+
+        print(json.dumps(summary.as_dict(), indent=2))
+    else:
+        print(format_summary(summary))
+    return 0
+
+
 def _cmd_experiment(args) -> int:
     fn = ALL_EXPERIMENTS.get(args.name)
     if fn is None:
@@ -168,6 +243,11 @@ def build_parser() -> argparse.ArgumentParser:
         description="Stateless model checking for hardware memory models "
         "(ASPLOS 2020 reproduction).",
     )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s (repro) {__version__}",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("models", help="list the supported memory models")
@@ -183,11 +263,29 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--model", default="sc", choices=model_names())
 
     verify_p = sub.add_parser("verify", help="verify a workload (stop at first error)")
-    verify_p.add_argument("family")
+    verify_p.add_argument("family", help="workload family or litmus test name")
     verify_p.add_argument("--n", type=int, default=2)
     verify_p.add_argument("--model", default="sc", choices=model_names())
     verify_p.add_argument(
         "--keep-going", action="store_true", help="collect all errors"
+    )
+    verify_p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print exploration counters and the per-phase time breakdown",
+    )
+    verify_p.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="write a JSONL exploration trace (see `hmc trace-summary`)",
+    )
+    verify_p.add_argument(
+        "--progress",
+        type=float,
+        nargs="?",
+        const=2.0,
+        metavar="SECONDS",
+        help="print a heartbeat to stderr every SECONDS (default 2)",
     )
 
     experiment = sub.add_parser(
@@ -225,6 +323,15 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--model", default="sc", choices=model_names())
     estimate.add_argument("--walks", type=int, default=50)
 
+    trace_summary = sub.add_parser(
+        "trace-summary",
+        help="aggregate a JSONL exploration trace into the paper-style table",
+    )
+    trace_summary.add_argument("path", help="trace file written by --trace-out")
+    trace_summary.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+
     return parser
 
 
@@ -238,6 +345,7 @@ _COMMANDS = {
     "repair": _cmd_repair,
     "estimate": _cmd_estimate,
     "experiment": _cmd_experiment,
+    "trace-summary": _cmd_trace_summary,
 }
 
 

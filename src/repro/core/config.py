@@ -39,3 +39,17 @@ class ExplorationOptions:
     #: kept labels replay identically (cheap, and required for
     #: dependency-prefix revisits; only disable in experiments)
     validate_revisits: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_events <= 0:
+            raise ValueError(
+                f"max_events must be positive, got {self.max_events}"
+            )
+        if self.max_executions is not None and self.max_executions < 0:
+            raise ValueError(
+                f"max_executions must be >= 0 or None, got {self.max_executions}"
+            )
+        if self.max_explored is not None and self.max_explored < 0:
+            raise ValueError(
+                f"max_explored must be >= 0 or None, got {self.max_explored}"
+            )

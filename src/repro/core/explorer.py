@@ -30,6 +30,7 @@ from ..events import FenceLabel, Label, ReadLabel, WriteLabel
 from ..graphs import ExecutionGraph, canonical_key, final_state
 from ..lang import Program, ReplayStatus, ThreadReplay, replay
 from ..models import MemoryModel, get_model
+from ..obs import NULL_OBSERVER
 from .config import ExplorationOptions
 from .result import ErrorReport, VerificationResult
 from .revisits import backward_revisits
@@ -47,10 +48,15 @@ class Explorer:
         program: Program,
         model: MemoryModel | str,
         options: ExplorationOptions | None = None,
+        observer=NULL_OBSERVER,
     ) -> None:
         self.program = program
         self.model = get_model(model) if isinstance(model, str) else model
         self.options = options or ExplorationOptions()
+        self.obs = observer
+        #: cached so the hot path pays one attribute load, not a
+        #: no-op context-manager / kwargs construction, when disabled
+        self._timed = observer.enabled
         dedup = self.options.deduplicate
         self._dedup = True if dedup is None else dedup
         self._seen: set = set()
@@ -68,8 +74,19 @@ class Explorer:
 
     def run(self) -> VerificationResult:
         start = time.perf_counter()
+        obs = self.obs
+        if obs.trace_enabled:
+            obs.emit(
+                "run_start",
+                program=self.program.name,
+                model=self.model.name,
+                threads=self.program.num_threads,
+            )
         root = ExecutionGraph(self.program.location_bases())
         stack: list[ExecutionGraph] = [root]
+        # models are registry singletons: attach the observer for this
+        # run only, and always detach it again
+        self.model.set_observer(obs)
         try:
             while stack:
                 graph = stack.pop()
@@ -84,7 +101,25 @@ class Explorer:
                     break
         except _SearchLimit:
             self.result.truncated = True
+        finally:
+            self.model.set_observer(NULL_OBSERVER)
         self.result.elapsed = time.perf_counter() - start
+        if obs.enabled:
+            self.result.phase_times = obs.phase_report()
+            obs.emit(
+                "run_end",
+                executions=self.result.executions,
+                blocked=self.result.blocked,
+                duplicates=self.result.duplicates,
+                errors=len(self.result.errors),
+                truncated=self.result.truncated,
+                elapsed=round(self.result.elapsed, 6),
+                stats=self.result.stats.as_dict(),
+                phases=self.result.phase_times,
+            )
+            obs.finish(
+                executions=self.result.executions, blocked=self.result.blocked
+            )
         return self.result
 
     # -- one exploration step ------------------------------------------------
@@ -98,12 +133,21 @@ class Explorer:
         replays: dict[int, ThreadReplay] = {}
         for tid in range(self.program.num_threads):
             n = graph.thread_size(tid)
-            rep = replay(
-                self.program.threads[tid],
-                tid,
-                graph.read_values(tid),
-                max_events=n + 1,
-            )
+            if self._timed:
+                with self.obs.phase("replay"):
+                    rep = replay(
+                        self.program.threads[tid],
+                        tid,
+                        graph.read_values(tid),
+                        max_events=n + 1,
+                    )
+            else:
+                rep = replay(
+                    self.program.threads[tid],
+                    tid,
+                    graph.read_values(tid),
+                    max_events=n + 1,
+                )
             replays[tid] = rep
             next_label = self._next_label(rep, n)
             if next_label is None:
@@ -133,7 +177,17 @@ class Explorer:
         self.result.stats.events_added += 1
         if len(graph) >= self.options.max_events:
             raise _SearchLimit
+        if self.obs.trace_enabled:
+            self.obs.emit(
+                "event_added",
+                tid=tid,
+                kind=type(label).__name__.removesuffix("Label").lower(),
+                loc=getattr(label, "loc", None),
+            )
         if isinstance(label, ReadLabel):
+            if self._timed:
+                with self.obs.phase("rf_enumeration"):
+                    return self._add_read(graph, tid, label)
             return self._add_read(graph, tid, label)
         if isinstance(label, WriteLabel):
             return self._add_write(graph, tid, label)
@@ -149,14 +203,24 @@ class Explorer:
         self.result.stats.reads_added += 1
         graph.ensure_location(label.loc)
         successors = []
+        candidates = 0
         # coherence-maximal candidate first: it is always consistent
         # (extensibility) and is the canonical choice for maximality
         for write in reversed(graph.co_order(label.loc)):
             self.result.stats.rf_candidates += 1
+            candidates += 1
             extended = graph.copy()
             extended.add_read(tid, label, write)
             if self._consistent_step(extended):
                 successors.append(extended)
+        if self.obs.trace_enabled:
+            self.obs.emit(
+                "rf_branch",
+                tid=tid,
+                loc=label.loc,
+                candidates=candidates,
+                consistent=len(successors),
+            )
         return successors
 
     def _add_write(
@@ -164,6 +228,31 @@ class Explorer:
     ) -> list[ExecutionGraph]:
         self.result.stats.writes_added += 1
         graph.ensure_location(label.loc)
+        if self._timed:
+            with self.obs.phase("co_placement"):
+                placements = self._co_placements(graph, tid, label)
+        else:
+            placements = self._co_placements(graph, tid, label)
+        successors = [g for g, _, ok in placements if ok]
+        if self.obs.trace_enabled:
+            self.obs.emit(
+                "co_branch",
+                tid=tid,
+                loc=label.loc,
+                positions=len(placements),
+                consistent=len(successors),
+            )
+        if self.options.backward_revisits:
+            if self._timed:
+                with self.obs.phase("revisit"):
+                    self._collect_revisits(placements, successors)
+            else:
+                self._collect_revisits(placements, successors)
+        return successors
+
+    def _co_placements(
+        self, graph: ExecutionGraph, tid: int, label: WriteLabel
+    ) -> list[tuple[ExecutionGraph, object, bool]]:
         placements = []
         n_writes = len(graph.co_order(label.loc))
         # coherence-maximal position first (canonical choice)
@@ -171,36 +260,39 @@ class Explorer:
             self.result.stats.co_positions += 1
             extended = graph.copy()
             event = extended.add_write(tid, label, index)
-            placements.append((extended, event, self._consistent_step(extended)))
-        successors = [g for g, _, ok in placements if ok]
-        if self.options.backward_revisits:
-            # Revisits are generated from *every* placement, including
-            # ones inconsistent in the full graph: a revisit deletes
-            # events, and the restricted graph can be consistent even
-            # when the full one is not (e.g. a second RMW that cannot
-            # be placed atomically until the conflicting RMW is
-            # deleted).  The restricted graph is checked on its own.
-            for extended, event, _ok in placements:
-                for revisited in backward_revisits(
-                    extended,
-                    event,
-                    self.program,
-                    self.model,
-                    self.options,
-                    self.result.stats,
-                ):
-                    key = (
-                        canonical_key(revisited),
-                        tuple(
-                            (e.tid, e.index)
-                            for e in revisited.events_by_stamp()
-                        ),
-                    )
-                    if key in self._revisit_seen:
-                        continue
-                    self._revisit_seen.add(key)
-                    successors.append(revisited)
-        return successors
+            placements.append(
+                (extended, event, self._consistent_step(extended))
+            )
+        return placements
+
+    def _collect_revisits(self, placements, successors) -> None:
+        # Revisits are generated from *every* placement, including
+        # ones inconsistent in the full graph: a revisit deletes
+        # events, and the restricted graph can be consistent even
+        # when the full one is not (e.g. a second RMW that cannot
+        # be placed atomically until the conflicting RMW is
+        # deleted).  The restricted graph is checked on its own.
+        for extended, event, _ok in placements:
+            for revisited in backward_revisits(
+                extended,
+                event,
+                self.program,
+                self.model,
+                self.options,
+                self.result.stats,
+                self.obs,
+            ):
+                key = (
+                    canonical_key(revisited),
+                    tuple(
+                        (e.tid, e.index)
+                        for e in revisited.events_by_stamp()
+                    ),
+                )
+                if key in self._revisit_seen:
+                    continue
+                self._revisit_seen.add(key)
+                successors.append(revisited)
 
     def _consistent_step(self, graph: ExecutionGraph) -> bool:
         if not self.options.incremental_checks:
@@ -213,6 +305,15 @@ class Explorer:
     # -- completion -----------------------------------------------------------
 
     def _complete(
+        self, graph: ExecutionGraph, replays: dict[int, ThreadReplay]
+    ) -> None:
+        if self._timed:
+            with self.obs.phase("completion"):
+                self._complete_inner(graph, replays)
+        else:
+            self._complete_inner(graph, replays)
+
+    def _complete_inner(
         self, graph: ExecutionGraph, replays: dict[int, ThreadReplay]
     ) -> None:
         if not self.options.incremental_checks and not self.model.is_consistent(
@@ -233,6 +334,12 @@ class Explorer:
                     graph=graph,
                 )
             )
+            if self.obs.trace_enabled:
+                self.obs.emit(
+                    "error",
+                    thread=tid,
+                    message=replays[tid].error or "assertion failed",
+                )
             if self.options.stop_on_error:
                 raise _SearchLimit
             return
@@ -243,9 +350,22 @@ class Explorer:
             key = canonical_key(graph)
             if key in self._seen:
                 self.result.duplicates += 1
+                if self._timed:
+                    if self.obs.trace_enabled:
+                        self.obs.emit("graph_duplicate", events=len(graph))
+                    self.obs.tick(
+                        executions=self.result.executions,
+                        blocked=self.result.blocked,
+                    )
                 return
             self._seen.add(key)
         self.result.executions += 1
+        if self._timed:
+            if self.obs.trace_enabled:
+                self.obs.emit("graph_complete", events=len(graph))
+            self.obs.tick(
+                executions=self.result.executions, blocked=self.result.blocked
+            )
         self._record_outcome(graph, replays)
         if self.options.collect_executions:
             self.result.execution_graphs.append(graph)
@@ -262,6 +382,12 @@ class Explorer:
 
     def _record_blocked(self) -> None:
         self.result.blocked += 1
+        if self._timed:
+            if self.obs.trace_enabled:
+                self.obs.emit("graph_blocked")
+            self.obs.tick(
+                executions=self.result.executions, blocked=self.result.blocked
+            )
 
     def _record_outcome(
         self, graph: ExecutionGraph, replays: dict[int, ThreadReplay]
@@ -279,18 +405,20 @@ def verify(
     program: Program,
     model: MemoryModel | str = "sc",
     options: ExplorationOptions | None = None,
+    observer=NULL_OBSERVER,
     **option_overrides,
 ) -> VerificationResult:
     """Verify ``program`` against ``model`` and return the result.
 
     Keyword overrides are forwarded to :class:`ExplorationOptions`,
-    e.g. ``verify(p, "tso", stop_on_error=False)``.
+    e.g. ``verify(p, "tso", stop_on_error=False)``.  Pass a
+    :class:`repro.obs.Observer` to collect phase timings and a trace.
     """
     if options is None:
         options = ExplorationOptions(**option_overrides)
     elif option_overrides:
         raise ValueError("pass either options or keyword overrides, not both")
-    return Explorer(program, model, options).run()
+    return Explorer(program, model, options, observer=observer).run()
 
 
 def count_executions(

@@ -36,6 +36,7 @@ def to_dict(result: VerificationResult) -> dict:
             for key, count in sorted(result.final_states.items())
         ],
         "stats": result.stats.as_dict(),
+        "phases": dict(result.phase_times),
     }
 
 

@@ -67,6 +67,10 @@ class VerificationResult:
     final_states: Counter = field(default_factory=Counter)
     elapsed: float = 0.0
     stats: Stats = field(default_factory=Stats)
+    #: per-phase timing breakdown ({phase: {"calls", "total", "self"}}),
+    #: populated when the run was observed (see repro.obs); empty dict
+    #: when observability was off
+    phase_times: dict[str, dict[str, float]] = field(default_factory=dict)
     #: populated when options.collect_executions is set
     execution_graphs: list[ExecutionGraph] = field(default_factory=list)
     #: search aborted by a limit (max_executions / max_explored)
@@ -99,4 +103,17 @@ class VerificationResult:
             for outcome, count in sorted(self.outcomes.items()):
                 shown = ", ".join(f"{k}={v}" for k, v in outcome)
                 lines.append(f"  {{{shown}}}: {count}")
+        return "\n".join(lines)
+
+    def stats_summary(self) -> str:
+        """The exploration counters plus (when observed) the per-phase
+        time breakdown, as aligned text."""
+        lines = ["stats:"]
+        for name, value in self.stats.as_dict().items():
+            lines.append(f"  {name:30s} {value}")
+        if self.phase_times:
+            from ..obs import format_phase_table
+
+            lines.append("time by phase:")
+            lines.extend(format_phase_table(self.phase_times))
         return "\n".join(lines)

@@ -28,6 +28,7 @@ from ..events import Event, ReadLabel, WriteLabel, labels_match
 from ..graphs import ExecutionGraph, closure, revisit_kept_set
 from ..lang import Program, replay
 from ..models import MemoryModel
+from ..obs import NULL_OBSERVER
 from .config import ExplorationOptions
 from .result import Stats
 
@@ -98,6 +99,7 @@ def backward_revisits(
     model: MemoryModel,
     options: ExplorationOptions,
     stats: Stats,
+    obs=NULL_OBSERVER,
 ) -> list[ExecutionGraph]:
     """All valid revisited graphs produced by the freshly added
     ``write``.  ``graph`` must already contain ``write`` (at some
@@ -107,6 +109,22 @@ def backward_revisits(
     all_reads = graph.reads(graph.label(write).location)  # type: ignore[arg-type]
     stats.revisits_considered += len(all_reads)
     stats.revisits_rejected_prefix += len(all_reads) - len(candidates)
+    if obs.trace_enabled:
+        wref = [write.tid, write.index]
+        in_prefix = set(all_reads) - set(candidates)
+        for read in all_reads:
+            obs.emit(
+                "revisit_considered",
+                read=[read.tid, read.index],
+                write=wref,
+            )
+            if read in in_prefix:
+                obs.emit(
+                    "revisit_rejected",
+                    read=[read.tid, read.index],
+                    write=wref,
+                    reason="prefix",
+                )
     for read in candidates:
         kept = revisit_kept_set(graph, write, read)
         deleted = [e for e in graph.events() if e not in kept]
@@ -121,6 +139,7 @@ def backward_revisits(
             maximally_added(graph, e) for e in deleted
         ):
             stats.revisits_rejected_maximality += 1
+            _emit_rejected(obs, read, write, "maximality")
             continue
         revisited = graph.restricted(kept)
         revisited.set_rf(read, write)
@@ -130,11 +149,30 @@ def backward_revisits(
         revisited.renumber_stamps()
         if options.validate_revisits and not replay_matches(program, revisited):
             stats.revisits_rejected_replay += 1
+            _emit_rejected(obs, read, write, "replay")
             continue
         stats.consistency_checks += 1
         if not model.is_consistent(revisited):
             stats.revisits_rejected_inconsistent += 1
+            _emit_rejected(obs, read, write, "inconsistent")
             continue
         stats.revisits_performed += 1
+        if obs.trace_enabled:
+            obs.emit(
+                "revisit_performed",
+                read=[read.tid, read.index],
+                write=[write.tid, write.index],
+                deleted=len(deleted),
+            )
         out.append(revisited)
     return out
+
+
+def _emit_rejected(obs, read: Event, write: Event, reason: str) -> None:
+    if obs.trace_enabled:
+        obs.emit(
+            "revisit_rejected",
+            read=[read.tid, read.index],
+            write=[write.tid, write.index],
+            reason=reason,
+        )

@@ -28,6 +28,7 @@ import abc
 
 from ..events import Event
 from ..graphs import ExecutionGraph, porf_preds
+from ..obs import NULL_OBSERVER
 from .common import atomicity_ok, sc_per_location
 
 
@@ -38,16 +39,37 @@ class MemoryModel(abc.ABC):
     name: str = "abstract"
     #: does the model forbid (po ∪ rf) cycles?
     porf_acyclic: bool = True
+    #: the active observer (models are registry singletons, so the
+    #: explorer attaches this for the duration of one run and detaches
+    #: it afterwards — see Explorer.run)
+    _observer = NULL_OBSERVER
+
+    # -- observability -------------------------------------------------------
+
+    def set_observer(self, observer) -> None:
+        """Attach (or, with :data:`NULL_OBSERVER`, detach) the observer
+        that times this model's consistency checks per axiom."""
+        self._observer = observer
 
     # -- consistency ---------------------------------------------------------
 
     def coherence_ok(self, graph: ExecutionGraph) -> bool:
         """SC-per-location plus RMW atomicity — common to every model."""
-        return sc_per_location(graph) and atomicity_ok(graph)
+        obs = self._observer
+        if not obs.enabled:
+            return sc_per_location(graph) and atomicity_ok(graph)
+        with obs.phase("check:coherence"):
+            return sc_per_location(graph) and atomicity_ok(graph)
 
     def is_consistent(self, graph: ExecutionGraph) -> bool:
         """Full consistency: coherence, atomicity and the model axiom."""
-        return self.coherence_ok(graph) and self.axiom_holds(graph)
+        obs = self._observer
+        if not obs.enabled:
+            return self.coherence_ok(graph) and self.axiom_holds(graph)
+        if not self.coherence_ok(graph):  # timed in coherence_ok
+            return False
+        with obs.phase(f"check:axiom:{self.name}"):
+            return self.axiom_holds(graph)
 
     @abc.abstractmethod
     def axiom_holds(self, graph: ExecutionGraph) -> bool:

@@ -1,0 +1,51 @@
+"""repro.obs — observability for the checker.
+
+A zero-dependency metrics registry (counters, gauges, histograms,
+nested phase timers), structured JSONL exploration traces, a progress
+heartbeat for long runs, and trace aggregation into the paper-style
+summary table.  The checker is instrumented against the
+:class:`Observer` facade; the default :data:`NULL_OBSERVER` makes the
+instrumentation cost ~nothing when observability is off.
+
+See docs/OBSERVABILITY.md for the trace schema and metric names.
+"""
+
+from .metrics import Histogram, MetricsRegistry, PhaseStat
+from .observer import NULL_OBSERVER, NullObserver, Observer
+from .progress import ProgressReporter
+from .summary import (
+    TraceSummary,
+    format_phase_table,
+    format_summary,
+    summarize_file,
+    summarize_records,
+)
+from .trace import (
+    TRACE_SCHEMA_VERSION,
+    FileSink,
+    MemorySink,
+    TraceWriter,
+    parse_trace,
+    read_trace,
+)
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "PhaseStat",
+    "NULL_OBSERVER",
+    "NullObserver",
+    "Observer",
+    "ProgressReporter",
+    "TraceSummary",
+    "format_phase_table",
+    "format_summary",
+    "summarize_file",
+    "summarize_records",
+    "TRACE_SCHEMA_VERSION",
+    "FileSink",
+    "MemorySink",
+    "TraceWriter",
+    "parse_trace",
+    "read_trace",
+]

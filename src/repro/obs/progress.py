@@ -1,0 +1,78 @@
+"""Progress heartbeat for long explorations.
+
+A :class:`ProgressReporter` is ticked once per completed (or blocked)
+graph by the explorer and the baselines; it prints a one-line
+heartbeat to stderr every *N* graphs and/or every *T* seconds,
+whichever fires first.  Exploration loops stay oblivious to the
+policy — they just call :meth:`ProgressReporter.tick`.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+
+class ProgressReporter:
+    """Emit heartbeat lines every ``every_graphs`` ticks or
+    ``every_seconds`` seconds (either may be None)."""
+
+    def __init__(
+        self,
+        every_graphs: int | None = None,
+        every_seconds: float | None = None,
+        stream=None,
+        clock=time.monotonic,
+        label: str = "explore",
+    ) -> None:
+        if every_graphs is None and every_seconds is None:
+            every_seconds = 2.0
+        self.every_graphs = every_graphs
+        self.every_seconds = every_seconds
+        self.stream = stream if stream is not None else sys.stderr
+        self._clock = clock
+        self.label = label
+        self._start = clock()
+        self._last_time = self._start
+        self._ticks = 0
+        self._ticks_at_last = 0
+        #: heartbeat lines actually printed
+        self.beats = 0
+
+    def tick(self, **counts) -> None:
+        """Account one unit of progress; print a heartbeat when due."""
+        self._ticks += 1
+        due = False
+        if (
+            self.every_graphs is not None
+            and self._ticks - self._ticks_at_last >= self.every_graphs
+        ):
+            due = True
+        now = self._clock()
+        if (
+            self.every_seconds is not None
+            and now - self._last_time >= self.every_seconds
+        ):
+            due = True
+        if due:
+            self._beat(now, counts)
+
+    def finish(self, **counts) -> None:
+        """Print a final line (only if at least one beat was printed,
+        so short runs stay silent)."""
+        if self.beats:
+            self._beat(self._clock(), counts, final=True)
+
+    def _beat(self, now: float, counts: dict, final: bool = False) -> None:
+        self.beats += 1
+        self._last_time = now
+        self._ticks_at_last = self._ticks
+        elapsed = now - self._start
+        rate = self._ticks / elapsed if elapsed > 0 else 0.0
+        shown = " ".join(f"{k}={v}" for k, v in counts.items())
+        tag = "done" if final else "progress"
+        print(
+            f"[{self.label} {tag}] {self._ticks} graphs "
+            f"in {elapsed:.1f}s ({rate:.0f}/s){' ' if shown else ''}{shown}",
+            file=self.stream,
+        )

@@ -1,0 +1,124 @@
+"""Structured JSONL exploration traces.
+
+Every record is one JSON object per line with at least:
+
+* ``t``    — the event type (see docs/OBSERVABILITY.md for the schema);
+* ``seq``  — a monotonically increasing sequence number;
+* ``ts``   — seconds since the writer was created (perf-counter based).
+
+plus type-specific fields.  Sinks are pluggable: :class:`FileSink`
+appends to a JSONL file with bounded write buffering, and
+:class:`MemorySink` keeps the last *N* records in a ring buffer (and
+counts what it dropped) — useful for tests and post-mortem peeking
+without touching the filesystem.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import time
+from typing import IO, Iterable, Iterator
+
+#: bump when a record's fields change incompatibly
+TRACE_SCHEMA_VERSION = 1
+
+
+class MemorySink:
+    """Keep the most recent ``capacity`` records in memory."""
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        self.records: collections.deque = collections.deque(maxlen=capacity)
+        self.dropped = 0
+
+    def write(self, record: dict) -> None:
+        if len(self.records) == self.records.maxlen:
+            self.dropped += 1
+        self.records.append(record)
+
+    def flush(self) -> None:  # interface symmetry
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class FileSink:
+    """Append records to a JSONL file, flushing every ``buffer_size``."""
+
+    def __init__(self, path: str, buffer_size: int = 512) -> None:
+        self.path = path
+        self.buffer_size = max(1, buffer_size)
+        self._buffer: list[str] = []
+        self._handle: IO[str] | None = open(path, "w", encoding="utf-8")
+        self.written = 0
+
+    def write(self, record: dict) -> None:
+        self._buffer.append(json.dumps(record, separators=(",", ":")))
+        if len(self._buffer) >= self.buffer_size:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._buffer and self._handle is not None:
+            self._handle.write("\n".join(self._buffer) + "\n")
+            self.written += len(self._buffer)
+            self._buffer.clear()
+            self._handle.flush()
+
+    def close(self) -> None:
+        self.flush()
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class TraceWriter:
+    """Stamp records with ``seq``/``ts`` and hand them to a sink."""
+
+    def __init__(self, sink, clock=time.perf_counter) -> None:
+        self.sink = sink
+        self._clock = clock
+        self._epoch = clock()
+        self._seq = 0
+        self.emit(
+            "trace_start",
+            schema=TRACE_SCHEMA_VERSION,
+            wall_time=time.time(),
+        )
+
+    def emit(self, type_: str, **fields) -> None:
+        self._seq += 1
+        record = {
+            "t": type_,
+            "seq": self._seq,
+            "ts": round(self._clock() - self._epoch, 6),
+        }
+        record.update(fields)
+        self.sink.write(record)
+
+    def flush(self) -> None:
+        self.sink.flush()
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+def parse_trace(lines: Iterable[str]) -> Iterator[dict]:
+    """Parse JSONL trace lines, raising with a line number on garbage."""
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"trace line {lineno}: not JSON ({exc})") from None
+        if not isinstance(record, dict) or "t" not in record:
+            raise ValueError(f"trace line {lineno}: not a trace record")
+        yield record
+
+
+def read_trace(path: str) -> list[dict]:
+    """Read a whole JSONL trace file into a list of records."""
+    with open(path, encoding="utf-8") as handle:
+        return list(parse_trace(handle))
