@@ -6,11 +6,13 @@ from .harness import (
     format_phases,
     print_table,
     rows_to_json,
+    run_backend,
     run_brute_force,
     run_dpor,
     run_hmc,
     run_interleaving,
     run_store_buffer,
+    serial_vs_parallel,
 )
 from .plots import f1_figure, render_series
 from .tables import ALL_EXPERIMENTS
@@ -23,10 +25,12 @@ __all__ = [
     "Row",
     "print_table",
     "rows_to_json",
+    "run_backend",
     "run_brute_force",
     "run_dpor",
     "run_hmc",
     "run_interleaving",
     "run_store_buffer",
+    "serial_vs_parallel",
     "workloads",
 ]

@@ -17,6 +17,7 @@ from .harness import (
     run_hmc,
     run_interleaving,
     run_store_buffer,
+    serial_vs_parallel,
 )
 
 #: a compact model set used by the wide sweeps
@@ -58,7 +59,7 @@ def run_state_hash(program) -> Row:
     """Row adapter for the SPIN-style stateful baseline."""
     import time
 
-    from ..baselines import explore_with_state_hashing
+    from ..baselines.statehash import explore_with_state_hashing
 
     start = time.perf_counter()
     result = explore_with_state_hashing(program)
@@ -223,6 +224,24 @@ def a2_ablation_incremental() -> list[Row]:
     return print_table("A2: incremental-check ablation", rows)
 
 
+def p1_parallel(jobs=4) -> list[Row]:
+    """P1: the same workloads serial vs sharded over ``jobs`` workers.
+
+    Executions/outcomes are identical by construction (the merge
+    reconciles by canonical key); the speedup column is the
+    hardware-dependent quantity — <1 on single-CPU hosts, where the
+    pool is pure overhead (see docs/PARALLEL.md and EXPERIMENTS.md P1).
+    """
+    rows: list[Row] = []
+    for program, model in (
+        (W.sb_n(4), "tso"),
+        (W.sb_n(5), "sc"),
+        (W.ainc(4), "sc"),
+    ):
+        rows.extend(serial_vs_parallel(program, model, jobs))
+    return print_table(f"P1: serial vs parallel (jobs={jobs})", rows)
+
+
 def t6_datastructures(models=("sc", "tso", "imm", "armv8", "power")) -> list[Row]:
     """T6: lock-free data structures across models (extension suite)."""
     from .datastructures import mp_queue, rw_lock, treiber_stack, xchg_spinlock
@@ -252,4 +271,5 @@ ALL_EXPERIMENTS = {
     "a1": a1_ablation_revisits,
     "a2": a2_ablation_incremental,
     "t6": t6_datastructures,
+    "p1": p1_parallel,
 }

@@ -11,6 +11,10 @@
     hmc repair dekker --model tso        # synthesise missing fences
     hmc experiment t3                    # regenerate a table/figure
     hmc models                           # list memory models
+    hmc backends                         # list exploration engines
+    hmc verify sb --n 3 --jobs 4         # shard over 4 worker processes
+    hmc bench sb --n 3 --jobs 4          # serial-vs-parallel comparison
+    hmc bench sb --backend dpor          # benchmark a baseline engine
     hmc verify SB --model tso --stats --trace-out run.jsonl --progress
                                          # instrumented run: counters,
                                          # per-phase times, JSONL trace,
@@ -24,9 +28,10 @@ import argparse
 import sys
 
 from . import __version__
-from .bench import ALL_EXPERIMENTS, run_hmc, workloads
+from .backends import all_backends, backend_names, get_backend
+from .bench import ALL_EXPERIMENTS, run_backend, serial_vs_parallel, workloads
 from .bench.datastructures import DATA_STRUCTURES
-from .core import ExplorationOptions, Explorer
+from .core import ExplorationOptions, effective_jobs
 from .core.compare import compare_models
 from .core.repair import synthesize_fences
 from .events import FenceKind
@@ -95,15 +100,25 @@ def _cmd_models(_args) -> int:
     return 0
 
 
+def _cmd_backends(_args) -> int:
+    for backend in all_backends():
+        models = (
+            "any model" if backend.models is None else "/".join(backend.models)
+        )
+        print(f"{backend.name:14s} [{models}] {backend.description}")
+    return 0
+
+
 def _cmd_litmus(args) -> int:
     names = litmus_names() if args.all else [args.test]
     if not args.all and args.test is None:
         print("specify a litmus test name or --all", file=sys.stderr)
         return 2
+    overrides = {} if args.jobs is None else {"jobs": args.jobs}
     failures = 0
     for name in names:
         test = get_litmus(name)
-        verdict = run_litmus(test, args.model)
+        verdict = run_litmus(test, args.model, **overrides)
         expected = allowed(name, args.model)
         status = "" if verdict.observed == expected else "  [deviates from literature]"
         print(f"{verdict}{status}")
@@ -116,8 +131,21 @@ def _cmd_bench(args) -> int:
     if program is None:
         print(_unknown_family(args.family), file=sys.stderr)
         return 2
-    row = run_hmc(program, args.model)
-    print(row.format())
+    options = ExplorationOptions(stop_on_error=False, jobs=args.jobs)
+    jobs = effective_jobs(options)
+    try:
+        if jobs > 1 and args.backend in ("hmc", "hmc-parallel"):
+            # serial-vs-parallel comparison rows, speedup included
+            rows = serial_vs_parallel(program, args.model, jobs)
+            for row in rows:
+                print(row.format())
+        else:
+            print(run_backend(
+                program, args.model, backend=args.backend, options=options
+            ).format())
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     return 0
 
 
@@ -126,15 +154,23 @@ def _cmd_verify(args) -> int:
     if program is None:
         print(_unknown_family(args.family), file=sys.stderr)
         return 2
-    options = ExplorationOptions(stop_on_error=not args.keep_going)
+    options = ExplorationOptions(
+        stop_on_error=not args.keep_going, jobs=args.jobs
+    )
+    backend_name = args.backend
+    if backend_name == "hmc" and effective_jobs(options) > 1:
+        backend_name = "hmc-parallel"
     observer = _observer_from_args(args)
     try:
-        result = Explorer(
+        result = get_backend(backend_name).run(
             program,
-            get_model(args.model),
+            args.model,
             options,
-            observer=observer if observer is not None else NULL_OBSERVER,
-        ).run()
+            observer if observer is not None else NULL_OBSERVER,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     finally:
         if observer is not None:
             observer.close()
@@ -251,21 +287,43 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("models", help="list the supported memory models")
+    sub.add_parser("backends", help="list the registered exploration backends")
+
+    jobs_help = (
+        "worker processes to shard exploration over "
+        "(0 = one per CPU; default: serial, or $REPRO_JOBS)"
+    )
 
     litmus = sub.add_parser("litmus", help="run litmus tests")
     litmus.add_argument("test", nargs="?", help="litmus test name (see repro.litmus)")
     litmus.add_argument("--all", action="store_true", help="run the whole corpus")
     litmus.add_argument("--model", default="sc", choices=model_names())
+    litmus.add_argument("--jobs", type=int, default=None, help=jobs_help)
 
     bench = sub.add_parser("bench", help="run one benchmark workload")
     bench.add_argument("family", help="workload family (e.g. sb, ainc, ticket-lock)")
     bench.add_argument("--n", type=int, default=2, help="workload size")
     bench.add_argument("--model", default="sc", choices=model_names())
+    bench.add_argument("--jobs", type=int, default=None, help=jobs_help)
+    bench.add_argument(
+        "--backend",
+        default="hmc",
+        choices=backend_names(),
+        help="exploration engine to benchmark (see `hmc backends`)",
+    )
 
     verify_p = sub.add_parser("verify", help="verify a workload (stop at first error)")
     verify_p.add_argument("family", help="workload family or litmus test name")
     verify_p.add_argument("--n", type=int, default=2)
     verify_p.add_argument("--model", default="sc", choices=model_names())
+    verify_p.add_argument("--jobs", type=int, default=None, help=jobs_help)
+    verify_p.add_argument(
+        "--backend",
+        default="hmc",
+        choices=backend_names(),
+        help="exploration engine (hmc auto-upgrades to hmc-parallel "
+        "when --jobs > 1)",
+    )
     verify_p.add_argument(
         "--keep-going", action="store_true", help="collect all errors"
     )
@@ -337,6 +395,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 _COMMANDS = {
     "models": _cmd_models,
+    "backends": _cmd_backends,
     "litmus": _cmd_litmus,
     "litmus-file": _cmd_litmus_file,
     "bench": _cmd_bench,

@@ -39,6 +39,17 @@ class ExplorationOptions:
     #: kept labels replay identically (cheap, and required for
     #: dependency-prefix revisits; only disable in experiments)
     validate_revisits: bool = True
+    #: worker processes for subtree-parallel exploration: None = serial
+    #: (unless the ``REPRO_JOBS`` environment variable overrides it),
+    #: 0 = one per CPU, N >= 1 = exactly N (1 degenerates to serial)
+    jobs: int | None = None
+    #: how many subtree tasks to carve out per worker; more tasks give
+    #: better load balance at the cost of more coordinator splitting
+    oversubscription: int = 4
+    #: record one (canonical key, outcome, final state) record per
+    #: distinct execution, enabling cross-process merge reconciliation
+    #: (set automatically on parallel workers)
+    collect_keys: bool = False
 
     def __post_init__(self) -> None:
         if self.max_events <= 0:
@@ -52,4 +63,10 @@ class ExplorationOptions:
         if self.max_explored is not None and self.max_explored < 0:
             raise ValueError(
                 f"max_explored must be >= 0 or None, got {self.max_explored}"
+            )
+        if self.jobs is not None and self.jobs < 0:
+            raise ValueError(f"jobs must be >= 0 or None, got {self.jobs}")
+        if self.oversubscription < 1:
+            raise ValueError(
+                f"oversubscription must be >= 1, got {self.oversubscription}"
             )

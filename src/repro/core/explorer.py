@@ -24,6 +24,7 @@ for every porf-acyclic model.
 
 from __future__ import annotations
 
+import os
 import time
 
 from ..events import FenceLabel, Label, ReadLabel, WriteLabel
@@ -32,7 +33,7 @@ from ..lang import Program, ReplayStatus, ThreadReplay, replay
 from ..models import MemoryModel, get_model
 from ..obs import NULL_OBSERVER
 from .config import ExplorationOptions
-from .result import ErrorReport, VerificationResult
+from .result import ErrorReport, ExecutionRecord, VerificationResult
 from .revisits import backward_revisits
 
 
@@ -49,16 +50,21 @@ class Explorer:
         model: MemoryModel | str,
         options: ExplorationOptions | None = None,
         observer=NULL_OBSERVER,
+        root: ExecutionGraph | None = None,
     ) -> None:
         self.program = program
         self.model = get_model(model) if isinstance(model, str) else model
         self.options = options or ExplorationOptions()
         self.obs = observer
+        #: resume point: explore only the subtree below this graph
+        #: (parallel workers receive their subtree prefix here)
+        self.root = root
         #: cached so the hot path pays one attribute load, not a
         #: no-op context-manager / kwargs construction, when disabled
         self._timed = observer.enabled
         dedup = self.options.deduplicate
         self._dedup = True if dedup is None else dedup
+        self._collect_keys = self.options.collect_keys
         self._seen: set = set()
         #: revisit-produced states already scheduled.  Exploration is a
         #: pure function of (graph, stamps), so a repeated state has an
@@ -82,7 +88,11 @@ class Explorer:
                 model=self.model.name,
                 threads=self.program.num_threads,
             )
-        root = ExecutionGraph(self.program.location_bases())
+        root = (
+            self.root.copy()
+            if self.root is not None
+            else ExecutionGraph(self.program.location_bases())
+        )
         stack: list[ExecutionGraph] = [root]
         # models are registry singletons: attach the observer for this
         # run only, and always detach it again
@@ -346,7 +356,12 @@ class Explorer:
         if any(s is ReplayStatus.BLOCKED for s in statuses.values()):
             self._record_blocked()
             return
-        if self._dedup or self.options.collect_executions:
+        key = None
+        if (
+            self._dedup
+            or self.options.collect_executions
+            or self._collect_keys
+        ):
             key = canonical_key(graph)
             if key in self._seen:
                 self.result.duplicates += 1
@@ -366,9 +381,18 @@ class Explorer:
             self.obs.tick(
                 executions=self.result.executions, blocked=self.result.blocked
             )
-        self._record_outcome(graph, replays)
+        outcome, state = self._record_outcome(graph, replays)
         if self.options.collect_executions:
             self.result.execution_graphs.append(graph)
+        if self._collect_keys:
+            self.result.execution_records.append(
+                ExecutionRecord(
+                    key=key,
+                    outcome=outcome,
+                    final_state=state,
+                    graph=graph if self.options.collect_executions else None,
+                )
+            )
         if (
             self.options.max_executions is not None
             and self.result.executions >= self.options.max_executions
@@ -391,14 +415,40 @@ class Explorer:
 
     def _record_outcome(
         self, graph: ExecutionGraph, replays: dict[int, ThreadReplay]
-    ) -> None:
+    ) -> tuple[tuple, tuple]:
         outcome = []
         for tid, reg in self.program.observables:
             value = replays[tid].registers.get(reg)
             if value is not None:
                 outcome.append((f"{reg}@{tid}", value))
-        self.result.outcomes[tuple(sorted(outcome))] += 1
-        self.result.final_states[final_state(graph)] += 1
+        observed = tuple(sorted(outcome))
+        state = final_state(graph)
+        self.result.outcomes[observed] += 1
+        self.result.final_states[state] += 1
+        return observed, state
+
+
+def effective_jobs(options: ExplorationOptions) -> int:
+    """The worker-process count a run of ``options`` should use.
+
+    ``options.jobs`` wins when set; otherwise the ``REPRO_JOBS``
+    environment variable supplies a process-wide default.  0 (either
+    way) means one worker per CPU; anything unset means serial (1).
+    """
+    jobs = options.jobs
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if not env:
+            return 1
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ValueError(f"REPRO_JOBS must be an integer, got {env!r}")
+        if jobs < 0:
+            raise ValueError(f"REPRO_JOBS must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
 
 
 def verify(
@@ -413,17 +463,47 @@ def verify(
     Keyword overrides are forwarded to :class:`ExplorationOptions`,
     e.g. ``verify(p, "tso", stop_on_error=False)``.  Pass a
     :class:`repro.obs.Observer` to collect phase timings and a trace.
+
+    With ``jobs=N`` (N > 1, or 0 for one worker per CPU) the search is
+    sharded over a process pool (see :mod:`repro.core.parallel`);
+    exhaustive parallel runs report the same ``executions``/``blocked``
+    /``outcomes`` as serial ones.  Runs bounded by ``max_executions``
+    or ``max_explored`` stay serial: a global execution budget is
+    inherently sequential.
     """
     if options is None:
         options = ExplorationOptions(**option_overrides)
     elif option_overrides:
         raise ValueError("pass either options or keyword overrides, not both")
+    if (
+        effective_jobs(options) > 1
+        and options.max_executions is None
+        and options.max_explored is None
+        # the merge reconciles by canonical key, so a run that
+        # explicitly disabled deduplication must stay serial
+        and options.deduplicate is not False
+    ):
+        from .parallel import verify_parallel
+
+        return verify_parallel(program, model, options, observer=observer)
     return Explorer(program, model, options, observer=observer).run()
 
 
 def count_executions(
-    program: Program, model: MemoryModel | str = "sc", **option_overrides
+    program: Program,
+    model: MemoryModel | str = "sc",
+    options: ExplorationOptions | None = None,
+    observer=NULL_OBSERVER,
+    **option_overrides,
 ) -> int:
-    """The number of distinct consistent executions of ``program``."""
-    option_overrides.setdefault("stop_on_error", False)
-    return verify(program, model, **option_overrides).executions
+    """The number of distinct consistent executions of ``program``.
+
+    Accepts the same ``options``/keyword-override convention as
+    :func:`verify` and forwards ``observer`` to it, so counting runs
+    can be traced and timed like verifying ones.
+    """
+    if options is None:
+        option_overrides.setdefault("stop_on_error", False)
+    return verify(
+        program, model, options, observer=observer, **option_overrides
+    ).executions

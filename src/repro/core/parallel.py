@@ -1,0 +1,269 @@
+"""Parallel subtree exploration: work-sharding over a process pool.
+
+HMC's search is a pure function of the execution graph: once the DFS
+branches (over rf sources, co positions, or backward revisits), the
+branches share no mutable state, so disjoint subtrees can be explored
+by separate worker processes and the per-subtree
+:class:`~repro.core.result.VerificationResult`\\ s merged afterwards.
+CPython's GIL makes threads useless for this CPU-bound search, hence
+``multiprocessing``: task descriptors and results cross the process
+boundary by pickling.
+
+The engine has three phases:
+
+1. **Split** — the coordinator expands the DFS root breadth-first,
+   re-splitting the shallowest branch points until at least
+   ``jobs × oversubscription`` independent subtree prefixes exist (or
+   the whole search completes during splitting, in which case no pool
+   is spawned at all).  Completions, blocked graphs and errors hit
+   while splitting are recorded in the coordinator's partial result.
+2. **Dispatch** — each prefix becomes a pickled
+   ``(program, model, options, prefix graph)`` task; workers resume the
+   DFS from the prefix (``Explorer(root=...)``) with per-worker dedup
+   and revisit-memoisation state, and tracing (when enabled) to a
+   per-worker JSONL file.
+3. **Merge** — worker results are combined in deterministic task order
+   with :meth:`VerificationResult.merge`.  Executions are reconciled by
+   canonical key (a graph completed in two subtrees counts once, with
+   the re-discovery reported as a duplicate), counters are summed, and
+   worker trace records are folded back into the coordinator's trace so
+   ``repro trace-summary`` still reconciles.
+
+``stop_on_error`` is propagated by cancelling outstanding tasks as
+soon as any worker reports an assertion failure.
+
+Determinism guarantee (see docs/PARALLEL.md): for exhaustive searches
+(no ``max_executions``/``max_explored``, deduplication on) the merged
+``executions``, ``outcomes`` and ``final_states`` are identical to the
+serial run's, because the subtree prefixes partition the serial DFS
+tree and completions are deduplicated by the same canonical key serial
+exploration uses.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections import deque
+from dataclasses import replace
+
+from ..graphs import ExecutionGraph
+from ..lang import Program
+from ..models import MemoryModel, get_model
+from ..obs import NULL_OBSERVER, FileSink, read_trace
+from .config import ExplorationOptions
+from .explorer import Explorer, _SearchLimit, effective_jobs
+from .result import VerificationResult, merge_phase_times
+
+#: a pickled unit of work: (task index, program, model name, options,
+#: subtree prefix graph, worker trace path or None)
+SubtreeTask = tuple[int, Program, str, ExplorationOptions, ExecutionGraph, "str | None"]
+
+
+def split_frontier(
+    program: Program,
+    model: MemoryModel | str,
+    options: ExplorationOptions,
+    target: int,
+    observer=NULL_OBSERVER,
+) -> tuple[list[ExecutionGraph], VerificationResult, bool]:
+    """Expand the DFS root into ``>= target`` independent subtrees.
+
+    Branch points are expanded breadth-first (shallowest first), so the
+    returned prefixes are as close to the root frontier as the branching
+    structure allows; a prefix that branches again is re-split until the
+    target is met or the frontier drains.  Returns the remaining
+    frontier, the partial result accumulated while splitting (graphs
+    that completed before the target was reached), and whether the
+    search aborted during splitting (stop-on-error or a search limit).
+    """
+    coordinator = Explorer(program, model, options, observer=observer)
+    frontier: deque[ExecutionGraph] = deque(
+        [ExecutionGraph(program.location_bases())]
+    )
+    aborted = False
+    coordinator.model.set_observer(observer)
+    try:
+        while frontier and len(frontier) < target:
+            graph = frontier.popleft()
+            while True:
+                successors = coordinator._step(graph)
+                if successors is None:
+                    break
+                if len(successors) == 1:
+                    graph = successors[0]
+                    continue
+                frontier.extend(successors)
+                break
+    except _SearchLimit:
+        coordinator.result.truncated = True
+        aborted = True
+    finally:
+        coordinator.model.set_observer(NULL_OBSERVER)
+    return list(frontier), coordinator.result, aborted
+
+
+def _run_subtree(task: SubtreeTask) -> tuple[int, VerificationResult]:
+    """Worker entry point: explore one subtree prefix to exhaustion."""
+    index, program, model_name, options, prefix, trace_path = task
+    observer = NULL_OBSERVER
+    if trace_path is not None:
+        from ..obs import Observer
+
+        observer = Observer.to_file(trace_path)
+    try:
+        result = Explorer(
+            program, model_name, options, observer=observer, root=prefix
+        ).run()
+    finally:
+        observer.close()
+    return index, result
+
+
+def _worker_trace_base(observer) -> str | None:
+    """The coordinator's trace file path, when it traces to a file."""
+    trace = getattr(observer, "trace", None)
+    if trace is not None and isinstance(trace.sink, FileSink):
+        return trace.sink.path
+    return None
+
+
+def verify_parallel(
+    program: Program,
+    model: MemoryModel | str = "sc",
+    options: ExplorationOptions | None = None,
+    observer=NULL_OBSERVER,
+    jobs: int | None = None,
+) -> VerificationResult:
+    """Verify ``program`` by sharding the search over worker processes.
+
+    ``jobs`` defaults to the resolution of ``options.jobs`` /
+    ``REPRO_JOBS`` (0 means one worker per CPU).  Falls back to the
+    serial explorer when only one job is requested.
+    """
+    options = options or ExplorationOptions()
+    model = get_model(model) if isinstance(model, str) else model
+    if jobs is None:
+        jobs = effective_jobs(options)
+    elif jobs == 0:
+        jobs = os.cpu_count() or 1
+    if jobs <= 1:
+        return Explorer(program, model, options, observer=observer).run()
+    start = time.perf_counter()
+    obs = observer
+    if obs.trace_enabled:
+        obs.emit(
+            "run_start",
+            program=program.name,
+            model=model.name,
+            threads=program.num_threads,
+            jobs=jobs,
+        )
+    target = jobs * options.oversubscription
+    # workers (and the splitting coordinator) record per-execution
+    # canonical keys so the merge can reconcile cross-worker duplicates
+    shard_options = replace(options, collect_keys=True, jobs=None)
+    frontier, merged, aborted = split_frontier(
+        program, model, shard_options, target, observer=obs
+    )
+    trace_base = _worker_trace_base(obs)
+    tasks: list[SubtreeTask] = []
+    if not aborted:
+        tasks = [
+            (
+                index,
+                program,
+                model.name,
+                shard_options,
+                prefix,
+                None
+                if trace_base is None
+                else f"{trace_base}.worker{index}",
+            )
+            for index, prefix in enumerate(frontier)
+        ]
+    worker_results: dict[int, VerificationResult] = {}
+    cancelled = 0
+    if tasks:
+        if obs.trace_enabled:
+            obs.emit("parallel_dispatch", tasks=len(tasks), jobs=jobs)
+        pool = multiprocessing.get_context().Pool(
+            processes=min(jobs, len(tasks))
+        )
+        try:
+            stop = False
+            for index, result in pool.imap_unordered(_run_subtree, tasks):
+                worker_results[index] = result
+                if options.stop_on_error and result.errors:
+                    stop = True
+                    break
+            if stop:
+                cancelled = len(tasks) - len(worker_results)
+                pool.terminate()
+            else:
+                pool.close()
+        except BaseException:
+            pool.terminate()
+            raise
+        finally:
+            pool.join()
+    for index in sorted(worker_results):
+        merged = merged.merge(worker_results[index])
+    if trace_base is not None:
+        _fold_worker_traces(
+            obs, [(t[0], t[5]) for t in tasks if t[0] in worker_results]
+        )
+    merged.elapsed = time.perf_counter() - start
+    merged.truncated = merged.truncated or cancelled > 0
+    merged.meta.update(
+        {
+            "jobs": jobs,
+            "tasks": len(tasks),
+            "tasks_cancelled": cancelled,
+            "oversubscription": options.oversubscription,
+        }
+    )
+    if not options.collect_keys:
+        merged.execution_records = []
+    if obs.enabled:
+        merged.phase_times = merge_phase_times(
+            merged.phase_times, obs.phase_report()
+        )
+        obs.emit(
+            "run_end",
+            executions=merged.executions,
+            blocked=merged.blocked,
+            duplicates=merged.duplicates,
+            errors=len(merged.errors),
+            truncated=merged.truncated,
+            elapsed=round(merged.elapsed, 6),
+            stats=merged.stats.as_dict(),
+            phases=merged.phase_times,
+            jobs=jobs,
+            tasks=len(tasks),
+        )
+        obs.finish(executions=merged.executions, blocked=merged.blocked)
+    return merged
+
+
+def _fold_worker_traces(observer, indexed_paths: list[tuple[int, str]]) -> None:
+    """Re-emit each worker's trace records into the coordinator trace.
+
+    Records keep their type and fields, gain a ``worker`` index, and are
+    re-stamped with the coordinator's ``seq``/``ts`` (per-worker files
+    stay on disk for debugging).  ``trace_start`` records are skipped so
+    the merged file has a single header.
+    """
+    for index, path in sorted(indexed_paths):
+        try:
+            records = read_trace(path)
+        except (OSError, ValueError):
+            continue  # a cancelled worker may have left nothing behind
+        for record in records:
+            type_ = record.pop("t")
+            if type_ == "trace_start":
+                continue
+            record.pop("seq", None)
+            record.pop("ts", None)
+            observer.emit(type_, worker=index, **record)

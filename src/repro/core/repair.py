@@ -22,8 +22,9 @@ from dataclasses import dataclass
 from ..events import FenceKind, MemOrder
 from ..lang import Fence, Program, Stmt
 from ..models import MemoryModel, get_model
+from ..obs import NULL_OBSERVER
 from .config import ExplorationOptions
-from .explorer import Explorer
+from .explorer import verify
 
 #: an insertion point: fence goes before statement ``index`` of thread
 FencePlacement = tuple[int, int]
@@ -82,9 +83,13 @@ def _with_fences(
     )
 
 
-def _is_safe(program: Program, model: MemoryModel, max_events: int) -> bool:
-    options = ExplorationOptions(stop_on_error=True, max_events=max_events)
-    return Explorer(program, model, options).run().ok
+def _is_safe(
+    program: Program,
+    model: MemoryModel,
+    options: ExplorationOptions,
+    observer,
+) -> bool:
+    return verify(program, model, options, observer=observer).ok
 
 
 def candidate_points(program: Program) -> list[FencePlacement]:
@@ -102,10 +107,25 @@ def synthesize_fences(
     model: MemoryModel | str,
     fence: FenceKind = FenceKind.SYNC,
     max_fences: int | None = None,
-    max_events: int = 10_000,
+    options: ExplorationOptions | None = None,
+    observer=NULL_OBSERVER,
+    **option_overrides,
 ) -> RepairResult:
     """Find a minimum-cardinality set of fence insertions making
-    ``program`` assertion-safe under ``model``."""
+    ``program`` assertion-safe under ``model``.
+
+    Follows :func:`~repro.core.explorer.verify`'s convention: each
+    candidate verification uses ``options`` if given, otherwise the
+    synthesis defaults ``stop_on_error=True, max_events=10_000`` with
+    any keyword ``option_overrides`` applied (``max_events=...`` and
+    ``jobs=...`` are the useful knobs).
+    """
+    if options is None:
+        defaults: dict = {"stop_on_error": True, "max_events": 10_000}
+        defaults.update(option_overrides)
+        options = ExplorationOptions(**defaults)
+    elif option_overrides:
+        raise ValueError("pass either options or keyword overrides, not both")
     model = get_model(model) if isinstance(model, str) else model
     result = RepairResult(
         program=program.name,
@@ -114,7 +134,7 @@ def synthesize_fences(
         placements=None,
         repaired=None,
     )
-    if _is_safe(program, model, max_events):
+    if _is_safe(program, model, options, observer):
         result.already_safe = True
         result.placements = ()
         result.repaired = program
@@ -126,7 +146,7 @@ def synthesize_fences(
         for combo in itertools.combinations(points, size):
             candidate = _with_fences(program, combo, fence)
             result.attempts += 1
-            if _is_safe(candidate, model, max_events):
+            if _is_safe(candidate, model, options, observer):
                 result.placements = combo
                 result.repaired = candidate
                 return result

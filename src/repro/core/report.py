@@ -2,14 +2,20 @@
 
 ``to_dict``/``to_json`` give a stable machine-readable form of a
 :class:`~repro.core.result.VerificationResult` (used by the benchmark
-harness and handy for CI pipelines diffing verification outcomes).
+harness and handy for CI pipelines diffing verification outcomes);
+``from_dict``/``from_json`` invert them, so results round-trip across
+files and process boundaries.  Witness graphs and per-execution
+records are deliberately not part of the JSON form (the pretty-printed
+witness text is); use pickle when the graphs themselves must travel.
 """
 
 from __future__ import annotations
 
 import json
 
-from .result import VerificationResult
+from collections import Counter
+
+from .result import ErrorReport, Stats, VerificationResult
 
 
 def to_dict(result: VerificationResult) -> dict:
@@ -37,8 +43,60 @@ def to_dict(result: VerificationResult) -> dict:
         ],
         "stats": result.stats.as_dict(),
         "phases": dict(result.phase_times),
+        "meta": dict(result.meta),
     }
 
 
 def to_json(result: VerificationResult, indent: int | None = 2) -> str:
     return json.dumps(to_dict(result), indent=indent, sort_keys=False)
+
+
+def from_dict(data: dict) -> VerificationResult:
+    """Rebuild a :class:`VerificationResult` from its ``to_dict`` form.
+
+    The inverse of :func:`to_dict` up to the fields the JSON form
+    carries: witness graphs and execution records do not round-trip
+    (witness *text* does).
+    """
+    result = VerificationResult(
+        program=data["program"],
+        model=data["model"],
+        executions=data.get("executions", 0),
+        blocked=data.get("blocked", 0),
+        duplicates=data.get("duplicates", 0),
+        truncated=bool(data.get("truncated", False)),
+        elapsed=float(data.get("elapsed_seconds", 0.0)),
+    )
+    result.errors = [
+        ErrorReport(
+            message=err["message"],
+            thread=err["thread"],
+            witness=err.get("witness", ""),
+        )
+        for err in data.get("errors", [])
+    ]
+    result.outcomes = Counter(
+        {
+            tuple(sorted(entry["observation"].items())): entry["count"]
+            for entry in data.get("outcomes", [])
+        }
+    )
+    result.final_states = Counter(
+        {
+            tuple(sorted(entry["state"].items())): entry["count"]
+            for entry in data.get("final_states", [])
+        }
+    )
+    known = set(vars(Stats()))
+    result.stats = Stats(
+        **{k: v for k, v in data.get("stats", {}).items() if k in known}
+    )
+    result.phase_times = {
+        name: dict(stat) for name, stat in data.get("phases", {}).items()
+    }
+    result.meta = dict(data.get("meta", {}))
+    return result
+
+
+def from_json(text: str) -> VerificationResult:
+    return from_dict(json.loads(text))

@@ -11,6 +11,19 @@ from ..graphs import ExecutionGraph
 Outcome = tuple[tuple[str, int], ...]
 
 
+def _merge_meta(left: dict, right: dict) -> dict:
+    """Sum numeric entries shared by both sides, otherwise left-biased."""
+    merged = dict(left)
+    for key, value in right.items():
+        if key in merged and isinstance(merged[key], (int, float)) and isinstance(
+            value, (int, float)
+        ):
+            merged[key] = merged[key] + value
+        else:
+            merged.setdefault(key, value)
+    return merged
+
+
 @dataclass(frozen=True)
 class ErrorReport:
     """An assertion failure, with its witness execution."""
@@ -23,6 +36,22 @@ class ErrorReport:
 
     def __str__(self) -> str:
         return f"assertion failure in thread {self.thread}: {self.message}"
+
+
+@dataclass(frozen=True)
+class ExecutionRecord:
+    """One distinct complete execution, in a process-portable form.
+
+    Recorded when :attr:`ExplorationOptions.collect_keys` is set; the
+    parallel coordinator uses the canonical key to reconcile executions
+    that different workers discovered independently.
+    """
+
+    key: tuple
+    outcome: Outcome
+    final_state: tuple
+    #: kept only when options.collect_executions is also set
+    graph: "ExecutionGraph | None" = None
 
 
 @dataclass
@@ -45,6 +74,31 @@ class Stats:
 
     def as_dict(self) -> dict[str, int]:
         return dict(vars(self))
+
+    def merge(self, other: "Stats") -> "Stats":
+        """Field-wise sum (commutative and associative)."""
+        return Stats(
+            **{
+                name: value + getattr(other, name)
+                for name, value in vars(self).items()
+            }
+        )
+
+
+def merge_phase_times(
+    left: dict[str, dict[str, float]], right: dict[str, dict[str, float]]
+) -> dict[str, dict[str, float]]:
+    """Sum two per-phase timing reports key-wise.
+
+    Merged totals are cumulative CPU seconds across contributors, so on
+    a parallel run they can exceed the wall-clock ``elapsed``.
+    """
+    merged = {name: dict(stat) for name, stat in left.items()}
+    for name, stat in right.items():
+        into = merged.setdefault(name, {})
+        for field_name, value in stat.items():
+            into[field_name] = into.get(field_name, 0.0) + value
+    return merged
 
 
 @dataclass
@@ -75,6 +129,12 @@ class VerificationResult:
     execution_graphs: list[ExecutionGraph] = field(default_factory=list)
     #: search aborted by a limit (max_executions / max_explored)
     truncated: bool = False
+    #: one record per distinct execution, populated when
+    #: options.collect_keys is set (the parallel engine relies on it)
+    execution_records: list[ExecutionRecord] = field(default_factory=list)
+    #: backend-specific counters (baseline trace counts, parallel task
+    #: accounting, ...) that have no first-class field
+    meta: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -85,6 +145,73 @@ class VerificationResult:
     def explored(self) -> int:
         """All complete graphs visited, including duplicates."""
         return self.executions + self.duplicates
+
+    @property
+    def keyed(self) -> bool:
+        """Every distinct execution carries an :class:`ExecutionRecord`
+        (required for exact cross-process deduplication)."""
+        return len(self.execution_records) == self.executions
+
+    def merge(self, other: "VerificationResult") -> "VerificationResult":
+        """Combine two partial results of the *same* verification task.
+
+        Deterministic, associative, and non-mutating.  When both sides
+        are :attr:`keyed`, executions completed on both sides are
+        reconciled by canonical key: the merged result counts each
+        distinct execution once (left-biased on first sight) and
+        reclassifies re-discoveries as duplicates, so a parallel run
+        reports the same ``executions``/``outcomes``/``final_states``
+        as a serial one.  Without keys the counters are simply summed.
+        """
+        if (self.program, self.model) != (other.program, other.model):
+            raise ValueError(
+                f"cannot merge results of different tasks: "
+                f"{(self.program, self.model)} vs {(other.program, other.model)}"
+            )
+        merged = VerificationResult(program=self.program, model=self.model)
+        merged.blocked = self.blocked + other.blocked
+        merged.errors = [*self.errors, *other.errors]
+        merged.truncated = self.truncated or other.truncated
+        merged.elapsed = max(self.elapsed, other.elapsed)
+        merged.stats = self.stats.merge(other.stats)
+        merged.phase_times = merge_phase_times(self.phase_times, other.phase_times)
+        merged.meta = _merge_meta(self.meta, other.meta)
+        if self.keyed and other.keyed:
+            seen = {record.key for record in self.execution_records}
+            merged.execution_records = list(self.execution_records)
+            for record in other.execution_records:
+                if record.key not in seen:
+                    seen.add(record.key)
+                    merged.execution_records.append(record)
+            merged.executions = len(merged.execution_records)
+            merged.duplicates = (
+                self.explored + other.explored - merged.executions
+            )
+            merged.outcomes = Counter(
+                record.outcome for record in merged.execution_records
+            )
+            merged.final_states = Counter(
+                record.final_state for record in merged.execution_records
+            )
+            merged.execution_graphs = [
+                record.graph
+                for record in merged.execution_records
+                if record.graph is not None
+            ]
+        else:
+            merged.executions = self.executions + other.executions
+            merged.duplicates = self.duplicates + other.duplicates
+            merged.outcomes = self.outcomes + other.outcomes
+            merged.final_states = self.final_states + other.final_states
+            merged.execution_graphs = [
+                *self.execution_graphs,
+                *other.execution_graphs,
+            ]
+            merged.execution_records = [
+                *self.execution_records,
+                *other.execution_records,
+            ]
+        return merged
 
     def summary(self) -> str:
         lines = [

@@ -4,8 +4,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core import ExplorationOptions, Explorer, VerificationResult
+from ..core import ExplorationOptions, VerificationResult, verify
 from ..models import MemoryModel, get_model
+from ..obs import NULL_OBSERVER
 from .catalog import LitmusTest
 
 
@@ -28,15 +29,24 @@ def run_litmus(
     test: LitmusTest,
     model: MemoryModel | str,
     options: ExplorationOptions | None = None,
+    observer=NULL_OBSERVER,
+    **option_overrides,
 ) -> LitmusVerdict:
-    """Explore the test exhaustively and evaluate its probe."""
+    """Explore the test exhaustively and evaluate its probe.
+
+    Routed through :func:`~repro.core.explorer.verify`, so passing
+    ``jobs=N`` (or setting ``REPRO_JOBS``) shards the exploration.
+    """
     model = get_model(model) if isinstance(model, str) else model
-    options = options or ExplorationOptions(
-        stop_on_error=False, collect_executions=True
-    )
+    if options is None:
+        defaults: dict = {"stop_on_error": False, "collect_executions": True}
+        defaults.update(option_overrides)
+        options = ExplorationOptions(**defaults)
+    elif option_overrides:
+        raise ValueError("pass either options or keyword overrides, not both")
     if not options.collect_executions:
         raise ValueError("litmus evaluation needs collect_executions")
-    result = Explorer(test.program, model, options).run()
+    result = verify(test.program, model, options, observer=observer)
     observed = _probe_observed(test, result)
     return LitmusVerdict(
         test=test.name,

@@ -75,5 +75,6 @@ class TestExperimentDrivers:
         from repro.bench.tables import ALL_EXPERIMENTS
 
         assert set(ALL_EXPERIMENTS) == {
-            "t1", "t2", "t3", "t4", "t5", "t6", "f1", "f2", "f3", "a1", "a2"
+            "t1", "t2", "t3", "t4", "t5", "t6",
+            "f1", "f2", "f3", "a1", "a2", "p1",
         }

@@ -1,0 +1,284 @@
+"""Tests for the parallel subtree-sharding engine (`repro.core.parallel`)
+and the result-merge machinery it relies on."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.core import (
+    ExplorationOptions,
+    Explorer,
+    VerificationResult,
+    effective_jobs,
+    from_json,
+    split_frontier,
+    to_json,
+    verify,
+    verify_parallel,
+)
+from repro.core.result import ExecutionRecord, Stats
+from repro.lang import ProgramBuilder
+from repro.litmus import MODELS, all_litmus_tests
+from repro.obs import NULL_OBSERVER
+
+
+def sb():
+    p = ProgramBuilder("SB")
+    t1 = p.thread(); t1.store("x", 1); a = t1.load("y")
+    t2 = p.thread(); t2.store("y", 1); b = t2.load("x")
+    p.observe(a, b)
+    return p.build()
+
+
+def sb_n(n):
+    p = ProgramBuilder(f"sb({n})")
+    regs = []
+    for i in range(n):
+        t = p.thread()
+        t.store(f"x{i}", 1)
+        regs.append(t.load(f"x{(i + 1) % n}"))
+    p.observe(*regs)
+    return p.build()
+
+
+def racy():
+    p = ProgramBuilder("racy-assert")
+    t1 = p.thread(); t1.store("x", 1)
+    t2 = p.thread(); r = t2.load("x"); t2.assert_(r.eq(0), "saw the store")
+    return p.build()
+
+
+def serial_result(program, model, **overrides):
+    options = ExplorationOptions(stop_on_error=False, **overrides)
+    return Explorer(program, model, options).run()
+
+
+class TestStatsMerge:
+    def test_fieldwise_sum(self):
+        a = Stats(reads_added=3, writes_added=1)
+        b = Stats(reads_added=4, revisits_considered=2)
+        merged = a.merge(b)
+        assert merged.reads_added == 7
+        assert merged.writes_added == 1
+        assert merged.revisits_considered == 2
+
+    def test_identity(self):
+        a = Stats(reads_added=5)
+        assert a.merge(Stats()) == a
+
+
+class TestResultMerge:
+    def test_program_mismatch_raises(self):
+        left = serial_result(sb(), "sc")
+        right = serial_result(sb_n(3), "sc")
+        with pytest.raises(ValueError):
+            left.merge(right)
+
+    def test_keyed_merge_equals_serial(self):
+        """Splitting records across parts and re-merging reproduces the
+        serial counts exactly."""
+        whole = serial_result(sb(), "tso", collect_keys=True)
+        assert whole.keyed
+        records = whole.execution_records
+        for cut in range(len(records) + 1):
+            left = VerificationResult(program=whole.program, model=whole.model)
+            left.execution_records = list(records[:cut])
+            left.executions = cut
+            right = VerificationResult(program=whole.program, model=whole.model)
+            right.execution_records = list(records[cut:])
+            right.executions = len(records) - cut
+            merged = left.merge(right)
+            assert merged.executions == whole.executions
+            assert merged.outcomes == whole.outcomes
+            assert {r.key for r in merged.execution_records} == {
+                r.key for r in records
+            }
+
+    def test_merge_dedups_shared_executions(self):
+        whole = serial_result(sb(), "tso", collect_keys=True)
+        merged = whole.merge(whole)
+        assert merged.executions == whole.executions
+        assert merged.duplicates == whole.executions  # every right rec dup
+
+    def test_merge_associative(self):
+        whole = serial_result(sb_n(3), "tso", collect_keys=True)
+        records = whole.execution_records
+        thirds = [records[0::3], records[1::3], records[2::3]]
+        parts = []
+        for chunk in thirds:
+            part = VerificationResult(program=whole.program, model=whole.model)
+            part.execution_records = list(chunk)
+            part.executions = len(chunk)
+            parts.append(part)
+        a, b, c = parts
+        left_assoc = a.merge(b).merge(c)
+        right_assoc = a.merge(b.merge(c))
+        assert left_assoc.executions == right_assoc.executions == len(records)
+        assert {r.key for r in left_assoc.execution_records} == {
+            r.key for r in right_assoc.execution_records
+        }
+
+    def test_blocked_truncated_elapsed(self):
+        a = VerificationResult(program="p", model="sc", blocked=2, elapsed=1.0)
+        b = VerificationResult(
+            program="p", model="sc", blocked=3, truncated=True, elapsed=0.5
+        )
+        merged = a.merge(b)
+        assert merged.blocked == 5
+        assert merged.truncated
+        assert merged.elapsed == 1.0
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_counts_and_outcomes(self):
+        result = serial_result(sb(), "tso", collect_executions=True)
+        back = from_json(to_json(result))
+        assert back.executions == result.executions
+        assert back.blocked == result.blocked
+        assert back.outcomes == result.outcomes
+        assert back.final_states == result.final_states
+        assert back.model == result.model
+
+    def test_round_trip_errors_and_meta(self):
+        result = verify(racy(), "sc", stop_on_error=False)
+        result.meta["jobs"] = 4
+        back = from_json(to_json(result))
+        assert len(back.errors) == len(result.errors)
+        assert back.errors[0].message == result.errors[0].message
+        assert back.meta["jobs"] == 4
+
+
+class TestPickling:
+    def test_result_with_witness_graph_pickles(self):
+        result = verify(racy(), "sc", stop_on_error=True)
+        assert result.errors and result.errors[0].graph is not None
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.errors[0].graph.pretty() == result.errors[0].graph.pretty()
+        assert clone.executions == result.executions
+
+    def test_execution_record_pickles(self):
+        whole = serial_result(sb(), "sc", collect_keys=True)
+        rec = whole.execution_records[0]
+        clone = pickle.loads(pickle.dumps(rec))
+        assert isinstance(clone, ExecutionRecord)
+        assert clone.key == rec.key
+
+
+class TestEffectiveJobs:
+    def test_default_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert effective_jobs(ExplorationOptions()) == 1
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert effective_jobs(ExplorationOptions()) == 3
+
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert effective_jobs(ExplorationOptions(jobs=2)) == 2
+
+    def test_zero_means_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert effective_jobs(ExplorationOptions(jobs=0)) == (
+            os.cpu_count() or 1
+        )
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "not-a-number")
+        with pytest.raises(ValueError):
+            effective_jobs(ExplorationOptions())
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            ExplorationOptions(jobs=-1)
+
+
+class TestSplitFrontier:
+    def test_subtrees_partition_the_search(self):
+        program = sb_n(3)
+        options = ExplorationOptions(stop_on_error=False, collect_keys=True)
+        subtrees, partial, aborted = split_frontier(
+            program, "tso", options, target=4, observer=NULL_OBSERVER
+        )
+        assert not aborted
+        assert len(subtrees) >= 4
+        merged = partial
+        for root in subtrees:
+            part = Explorer(program, "tso", options, root=root).run()
+            merged = merged.merge(part)
+        serial = serial_result(program, "tso", collect_keys=True)
+        assert merged.executions == serial.executions
+        assert merged.blocked == serial.blocked
+
+    def test_tiny_program_completes_during_split(self):
+        p = ProgramBuilder("one-store")
+        p.thread().store("x", 1)
+        program = p.build()
+        options = ExplorationOptions(stop_on_error=False, collect_keys=True)
+        subtrees, partial, aborted = split_frontier(
+            program, "sc", options, target=8, observer=NULL_OBSERVER
+        )
+        assert not aborted
+        assert subtrees == []
+        assert partial.executions == 1
+
+
+class TestParallelEquivalence:
+    def test_dispatch_guard(self, monkeypatch):
+        """verify() only shards unbounded deduplicated runs."""
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        bounded = verify(sb(), "tso", jobs=2, max_executions=2)
+        assert "jobs" not in bounded.meta  # stayed serial
+        sharded = verify(sb(), "tso", jobs=2, stop_on_error=False)
+        assert sharded.meta.get("jobs") == 2
+
+    def test_jobs_equivalent_on_workload(self):
+        program = sb_n(3)
+        for model in ("sc", "tso", "imm"):
+            serial = serial_result(program, model)
+            parallel = verify_parallel(
+                program,
+                model,
+                ExplorationOptions(stop_on_error=False),
+                jobs=2,
+            )
+            assert parallel.executions == serial.executions, model
+            assert parallel.blocked == serial.blocked, model
+            assert parallel.outcomes == serial.outcomes, model
+
+    def test_stop_on_error_still_reports(self):
+        result = verify_parallel(
+            racy(),
+            "sc",
+            ExplorationOptions(stop_on_error=True),
+            jobs=2,
+        )
+        assert result.errors
+        assert not result.ok
+
+    def test_jobs_one_degrades_to_serial(self):
+        result = verify_parallel(
+            sb(), "sc", ExplorationOptions(stop_on_error=False), jobs=1
+        )
+        serial = serial_result(sb(), "sc")
+        assert result.executions == serial.executions
+        assert "jobs" not in result.meta
+
+
+@pytest.mark.slow
+class TestLitmusCorpusEquivalence:
+    """The acceptance bar: jobs=N matches serial on every litmus test
+    under every model."""
+
+    @pytest.mark.parametrize("model", sorted(MODELS))
+    def test_corpus_matches_serial(self, model):
+        options = ExplorationOptions(stop_on_error=False, collect_executions=True)
+        for test in all_litmus_tests():
+            serial = Explorer(test.program, model, options).run()
+            parallel = verify_parallel(test.program, model, options, jobs=2)
+            label = f"{test.name}/{model}"
+            assert parallel.executions == serial.executions, label
+            assert parallel.blocked == serial.blocked, label
+            assert parallel.outcomes == serial.outcomes, label
+            assert parallel.final_states == serial.final_states, label
