@@ -120,7 +120,12 @@ def _run_hmc(program, model_name, options, observer) -> VerificationResult:
 def _run_hmc_parallel(program, model_name, options, observer) -> VerificationResult:
     # jobs resolves via options.jobs / REPRO_JOBS; a parallel backend
     # asked to run with one job degenerates to the serial explorer
-    return verify_parallel(program, model_name, options, observer=observer)
+    result = verify_parallel(program, model_name, options, observer=observer)
+    if not options.collect_keys:
+        # internal merge bookkeeping; strip at the API boundary (the
+        # result stays mergeable only when the caller opted into keys)
+        result.execution_records = []
+    return result
 
 
 def _placeholder_errors(count: int, tool: str) -> list[ErrorReport]:

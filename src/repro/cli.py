@@ -131,7 +131,9 @@ def _cmd_bench(args) -> int:
     if program is None:
         print(_unknown_family(args.family), file=sys.stderr)
         return 2
-    options = ExplorationOptions(stop_on_error=False, jobs=args.jobs)
+    options = ExplorationOptions(
+        stop_on_error=False, jobs=args.jobs, task_timeout=args.task_timeout
+    )
     jobs = effective_jobs(options)
     try:
         if jobs > 1 and args.backend in ("hmc", "hmc-parallel"):
@@ -155,7 +157,9 @@ def _cmd_verify(args) -> int:
         print(_unknown_family(args.family), file=sys.stderr)
         return 2
     options = ExplorationOptions(
-        stop_on_error=not args.keep_going, jobs=args.jobs
+        stop_on_error=not args.keep_going,
+        jobs=args.jobs,
+        task_timeout=args.task_timeout,
     )
     backend_name = args.backend
     if backend_name == "hmc" and effective_jobs(options) > 1:
@@ -293,6 +297,10 @@ def build_parser() -> argparse.ArgumentParser:
         "worker processes to shard exploration over "
         "(0 = one per CPU; default: serial, or $REPRO_JOBS)"
     )
+    task_timeout_help = (
+        "wall-clock seconds before a parallel subtree task is declared "
+        "hung and retried (default: no timeout; see docs/PARALLEL.md)"
+    )
 
     litmus = sub.add_parser("litmus", help="run litmus tests")
     litmus.add_argument("test", nargs="?", help="litmus test name (see repro.litmus)")
@@ -306,6 +314,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--model", default="sc", choices=model_names())
     bench.add_argument("--jobs", type=int, default=None, help=jobs_help)
     bench.add_argument(
+        "--task-timeout", type=float, default=None, help=task_timeout_help
+    )
+    bench.add_argument(
         "--backend",
         default="hmc",
         choices=backend_names(),
@@ -317,6 +328,9 @@ def build_parser() -> argparse.ArgumentParser:
     verify_p.add_argument("--n", type=int, default=2)
     verify_p.add_argument("--model", default="sc", choices=model_names())
     verify_p.add_argument("--jobs", type=int, default=None, help=jobs_help)
+    verify_p.add_argument(
+        "--task-timeout", type=float, default=None, help=task_timeout_help
+    )
     verify_p.add_argument(
         "--backend",
         default="hmc",

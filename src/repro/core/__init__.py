@@ -4,7 +4,7 @@ from .config import ExplorationOptions
 from .report import from_dict, from_json, to_dict, to_json
 from .estimate import Estimate, estimate_explorations
 from .explorer import Explorer, count_executions, effective_jobs, verify
-from .parallel import split_frontier, verify_parallel
+from .parallel import GlobalBudget, split_frontier, verify_parallel
 from .result import (
     ErrorReport,
     ExecutionRecord,
@@ -21,6 +21,7 @@ __all__ = [
     "ExecutionRecord",
     "ExplorationOptions",
     "Explorer",
+    "GlobalBudget",
     "Stats",
     "VerificationResult",
     "backward_revisits",

@@ -50,6 +50,14 @@ class ExplorationOptions:
     #: distinct execution, enabling cross-process merge reconciliation
     #: (set automatically on parallel workers)
     collect_keys: bool = False
+    #: wall-clock seconds a parallel subtree task may run before the
+    #: coordinator declares it hung, kills the pool workers and retries
+    #: it (None = no timeout; serial runs ignore this)
+    task_timeout: float | None = None
+    #: how many times a failed/crashed/timed-out subtree task is
+    #: resubmitted to the pool before the coordinator gives up on the
+    #: pool and re-explores that subtree serially itself
+    task_retries: int = 2
 
     def __post_init__(self) -> None:
         if self.max_events <= 0:
@@ -69,4 +77,12 @@ class ExplorationOptions:
         if self.oversubscription < 1:
             raise ValueError(
                 f"oversubscription must be >= 1, got {self.oversubscription}"
+            )
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError(
+                f"task_timeout must be positive or None, got {self.task_timeout}"
+            )
+        if self.task_retries < 0:
+            raise ValueError(
+                f"task_retries must be >= 0, got {self.task_retries}"
             )

@@ -51,6 +51,7 @@ class Explorer:
         options: ExplorationOptions | None = None,
         observer=NULL_OBSERVER,
         root: ExecutionGraph | None = None,
+        budget=None,
     ) -> None:
         self.program = program
         self.model = get_model(model) if isinstance(model, str) else model
@@ -59,6 +60,10 @@ class Explorer:
         #: resume point: explore only the subtree below this graph
         #: (parallel workers receive their subtree prefix here)
         self.root = root
+        #: shared cross-process budget (repro.core.parallel.GlobalBudget)
+        #: enforcing max_executions/max_explored over a *merged* parallel
+        #: run; None for serial runs, which use the local option limits
+        self._budget = budget
         #: cached so the hot path pays one attribute load, not a
         #: no-op context-manager / kwargs construction, when disabled
         self._timed = observer.enabled
@@ -186,6 +191,11 @@ class Explorer:
     ) -> list[ExecutionGraph]:
         self.result.stats.events_added += 1
         if len(graph) >= self.options.max_events:
+            raise _SearchLimit
+        if self._budget is not None and self._budget.limit_hit:
+            # another worker drained the shared budget: stop mid-subtree
+            # instead of exploring graphs whose completions can no
+            # longer be recorded
             raise _SearchLimit
         if self.obs.trace_enabled:
             self.obs.emit(
@@ -364,6 +374,8 @@ class Explorer:
         ):
             key = canonical_key(graph)
             if key in self._seen:
+                if self._budget is not None and not self._budget.take_explored():
+                    raise _SearchLimit
                 self.result.duplicates += 1
                 if self._timed:
                     if self.obs.trace_enabled:
@@ -374,6 +386,10 @@ class Explorer:
                     )
                 return
             self._seen.add(key)
+        if self._budget is not None and not (
+            self._budget.take_execution() and self._budget.take_explored()
+        ):
+            raise _SearchLimit  # global budget drained; don't record
         self.result.executions += 1
         if self._timed:
             if self.obs.trace_enabled:
@@ -402,6 +418,8 @@ class Explorer:
             self.options.max_explored is not None
             and self.result.explored >= self.options.max_explored
         ):
+            raise _SearchLimit
+        if self._budget is not None and self._budget.limit_hit:
             raise _SearchLimit
 
     def _record_blocked(self) -> None:
@@ -468,8 +486,10 @@ def verify(
     sharded over a process pool (see :mod:`repro.core.parallel`);
     exhaustive parallel runs report the same ``executions``/``blocked``
     /``outcomes`` as serial ones.  Runs bounded by ``max_executions``
-    or ``max_explored`` stay serial: a global execution budget is
-    inherently sequential.
+    or ``max_explored`` shard too: the workers share one global budget,
+    so the merged result never exceeds the limit (which executions fill
+    the budget depends on worker scheduling, unlike the serial run's
+    DFS-order prefix).
     """
     if options is None:
         options = ExplorationOptions(**option_overrides)
@@ -477,15 +497,18 @@ def verify(
         raise ValueError("pass either options or keyword overrides, not both")
     if (
         effective_jobs(options) > 1
-        and options.max_executions is None
-        and options.max_explored is None
         # the merge reconciles by canonical key, so a run that
         # explicitly disabled deduplication must stay serial
         and options.deduplicate is not False
     ):
         from .parallel import verify_parallel
 
-        return verify_parallel(program, model, options, observer=observer)
+        result = verify_parallel(program, model, options, observer=observer)
+        if not options.collect_keys:
+            # the records existed for merge reconciliation; strip them
+            # at the API boundary unless the caller asked for them
+            result.execution_records = []
+        return result
     return Explorer(program, model, options, observer=observer).run()
 
 

@@ -1,4 +1,5 @@
-"""Parallel subtree exploration: work-sharding over a process pool.
+"""Parallel subtree exploration: fault-tolerant work-sharding over a
+process pool.
 
 HMC's search is a pure function of the execution graph: once the DFS
 branches (over rf sources, co positions, or backward revisits), the
@@ -18,16 +19,30 @@ The engine has three phases:
    is spawned at all).  Completions, blocked graphs and errors hit
    while splitting are recorded in the coordinator's partial result.
 2. **Dispatch** — each prefix becomes a pickled
-   ``(program, model, options, prefix graph)`` task; workers resume the
-   DFS from the prefix (``Explorer(root=...)``) with per-worker dedup
-   and revisit-memoisation state, and tracing (when enabled) to a
-   per-worker JSONL file.
+   ``(index, attempt, program, model, options, prefix graph, trace
+   path)`` task; workers resume the DFS from the prefix
+   (``Explorer(root=...)``) with per-worker dedup and
+   revisit-memoisation state, and tracing (when enabled) to a
+   per-worker JSONL file.  Dispatch is supervised: every task is an
+   ``apply_async`` handle the coordinator polls, so a worker that
+   raises, is killed (SIGKILL), or hangs past
+   ``ExplorationOptions.task_timeout`` is detected, the task is
+   retried up to ``task_retries`` times, and a task that keeps failing
+   is re-explored *serially in the coordinator* — the run still
+   returns a complete, deterministic result instead of raising or
+   wedging.
 3. **Merge** — worker results are combined in deterministic task order
    with :meth:`VerificationResult.merge`.  Executions are reconciled by
    canonical key (a graph completed in two subtrees counts once, with
    the re-discovery reported as a duplicate), counters are summed, and
    worker trace records are folded back into the coordinator's trace so
    ``repro trace-summary`` still reconciles.
+
+``max_executions``/``max_explored`` hold for the **merged** result: the
+coordinator charges the split phase against a :class:`GlobalBudget`
+(shared ``multiprocessing`` counters) and every worker draws execution
+/explored units from the same budget, stopping early once it drains.
+``truncated`` is set exactly when a limit actually bit somewhere.
 
 ``stop_on_error`` is propagated by cancelling outstanding tasks as
 soon as any worker reports an assertion failure.
@@ -37,28 +52,123 @@ Determinism guarantee (see docs/PARALLEL.md): for exhaustive searches
 ``executions``, ``outcomes`` and ``final_states`` are identical to the
 serial run's, because the subtree prefixes partition the serial DFS
 tree and completions are deduplicated by the same canonical key serial
-exploration uses.
+exploration uses.  Retries and serial fallback preserve this: subtree
+tasks are pure functions, so re-running one yields the identical
+sub-result.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
 import time
 from collections import deque
-from dataclasses import replace
+from dataclasses import dataclass, field, replace
 
 from ..graphs import ExecutionGraph
 from ..lang import Program
 from ..models import MemoryModel, get_model
-from ..obs import NULL_OBSERVER, FileSink, read_trace
+from ..obs import NULL_OBSERVER, FileSink, Observer, read_trace_prefix
 from .config import ExplorationOptions
 from .explorer import Explorer, _SearchLimit, effective_jobs
 from .result import VerificationResult, merge_phase_times
 
-#: a pickled unit of work: (task index, program, model name, options,
-#: subtree prefix graph, worker trace path or None)
-SubtreeTask = tuple[int, Program, str, ExplorationOptions, ExecutionGraph, "str | None"]
+#: a pickled unit of work: (task index, attempt number, program, model
+#: name, options, subtree prefix graph, worker trace path or None)
+SubtreeTask = tuple[
+    int, int, Program, str, ExplorationOptions, ExecutionGraph, "str | None"
+]
+
+#: test-only fault injection hook (see ``_maybe_inject_fault``)
+FAULT_ENV = "REPRO_FAULT_INJECT"
+
+#: seconds between coordinator supervision polls
+_POLL_INTERVAL = 0.01
+
+
+class GlobalBudget:
+    """Cross-process ``max_executions``/``max_explored`` budget.
+
+    Workers (and the coordinator's serial-fallback explorer) draw units
+    from shared counters before recording an execution or a duplicate,
+    so the limits hold for the *merged* result instead of being applied
+    per worker.  ``limit_hit`` latches once a limit actually bites and
+    doubles as the workers' early-stop signal.
+
+    The shared state must be created before the pool (workers receive
+    it through the pool initializer) and from the same multiprocessing
+    context.
+    """
+
+    def __init__(
+        self,
+        max_executions: int | None = None,
+        max_explored: int | None = None,
+        executions_used: int = 0,
+        explored_used: int = 0,
+        ctx=None,
+    ) -> None:
+        ctx = ctx if ctx is not None else multiprocessing.get_context()
+        self.max_executions = max_executions
+        self.max_explored = max_explored
+        self._lock = ctx.Lock()
+        self._executions = (
+            None
+            if max_executions is None
+            else ctx.Value("q", executions_used, lock=False)
+        )
+        self._explored = (
+            None
+            if max_explored is None
+            else ctx.Value("q", explored_used, lock=False)
+        )
+        hit = (
+            max_executions is not None and executions_used >= max_executions
+        ) or (max_explored is not None and explored_used >= max_explored)
+        self._limit_hit = ctx.Value("b", int(hit), lock=False)
+
+    @property
+    def limit_hit(self) -> bool:
+        """A limit has bitten somewhere (lock-free read)."""
+        return bool(self._limit_hit.value)
+
+    def take_execution(self) -> bool:
+        """Draw one execution unit; False when the budget is drained."""
+        if self._executions is None:
+            return True
+        with self._lock:
+            n = self._executions.value
+            if n >= self.max_executions:
+                self._limit_hit.value = 1
+                return False
+            self._executions.value = n + 1
+            if n + 1 >= self.max_executions:
+                self._limit_hit.value = 1
+            return True
+
+    def take_explored(self) -> bool:
+        """Draw one explored-graph unit; False when drained."""
+        if self._explored is None:
+            return True
+        with self._lock:
+            n = self._explored.value
+            if n >= self.max_explored:
+                self._limit_hit.value = 1
+                return False
+            self._explored.value = n + 1
+            if n + 1 >= self.max_explored:
+                self._limit_hit.value = 1
+            return True
+
+    def snapshot(self) -> dict:
+        """Current consumption, for ``result.meta`` accounting."""
+        out: dict = {}
+        if self._executions is not None:
+            out["budget_executions"] = self._executions.value
+        if self._explored is not None:
+            out["budget_explored"] = self._explored.value
+        return out
 
 
 def split_frontier(
@@ -104,21 +214,73 @@ def split_frontier(
     return list(frontier), coordinator.result, aborted
 
 
-def _run_subtree(task: SubtreeTask) -> tuple[int, VerificationResult]:
+# -- worker side -----------------------------------------------------------
+
+#: the shared budget, installed per worker by the pool initializer
+#: (shared ctypes cannot ride along inside pickled task tuples)
+_WORKER_BUDGET: GlobalBudget | None = None
+
+
+def _init_worker(budget: GlobalBudget | None) -> None:
+    global _WORKER_BUDGET
+    _WORKER_BUDGET = budget
+
+
+def _maybe_inject_fault(index: int, attempt: int) -> None:
+    """Test-only fault injection, driven by ``REPRO_FAULT_INJECT``.
+
+    The value is ``kind[:tasks[:marker]]`` where ``kind`` is ``crash``
+    (SIGKILL self), ``hang`` (sleep forever) or ``raise``; ``tasks`` is
+    a comma-separated list of task indices (empty = any task); and
+    ``marker`` is a path created *before* faulting so the fault fires
+    only once — leave it empty to fault on every attempt (exercising
+    the serial-fallback path).  Used by the fault-tolerance tests and
+    the CI fault-injection smoke leg; ignored in normal operation.
+    """
+    spec = os.environ.get(FAULT_ENV)
+    if not spec:
+        return
+    parts = spec.split(":", 2)
+    kind = parts[0]
+    targets = parts[1] if len(parts) > 1 else ""
+    marker = parts[2] if len(parts) > 2 else ""
+    if targets and str(index) not in targets.split(","):
+        return
+    if marker:
+        if os.path.exists(marker):
+            return
+        with open(marker, "w") as handle:
+            handle.write(f"task {index} attempt {attempt}\n")
+    if kind == "crash":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif kind == "hang":
+        time.sleep(3600)
+    elif kind == "raise":
+        raise RuntimeError(f"injected fault in task {index}")
+
+
+def _run_subtree(task: SubtreeTask) -> tuple[int, int, VerificationResult]:
     """Worker entry point: explore one subtree prefix to exhaustion."""
-    index, program, model_name, options, prefix, trace_path = task
+    index, attempt, program, model_name, options, prefix, trace_path = task
+    _maybe_inject_fault(index, attempt)
     observer = NULL_OBSERVER
     if trace_path is not None:
-        from ..obs import Observer
-
         observer = Observer.to_file(trace_path)
     try:
         result = Explorer(
-            program, model_name, options, observer=observer, root=prefix
+            program,
+            model_name,
+            options,
+            observer=observer,
+            root=prefix,
+            budget=_WORKER_BUDGET,
         ).run()
     finally:
         observer.close()
-    return index, result
+    return index, attempt, result
+
+
+# -- coordinator side ------------------------------------------------------
 
 
 def _worker_trace_base(observer) -> str | None:
@@ -127,6 +289,289 @@ def _worker_trace_base(observer) -> str | None:
     if trace is not None and isinstance(trace.sink, FileSink):
         return trace.sink.path
     return None
+
+
+def _trace_path(base: str | None, index: int, attempt: int) -> str | None:
+    """Per-attempt worker trace path (retries must not clobber the
+    evidence a failed attempt left behind)."""
+    if base is None:
+        return None
+    if attempt == 0:
+        return f"{base}.worker{index}"
+    return f"{base}.worker{index}.retry{attempt}"
+
+
+@dataclass
+class _TaskState:
+    """Coordinator-side bookkeeping for one subtree task."""
+
+    index: int
+    prefix: ExecutionGraph
+    #: attempts submitted so far (the next attempt number)
+    attempts: int = 0
+    #: failures observed (exception, lost worker, timeout)
+    failures: int = 0
+    #: live AsyncResult handles; more than one after a lost-worker
+    #: resubmission (first completion wins, stale handles are ignored)
+    handles: list = field(default_factory=list)
+    deadline: float | None = None
+
+
+def _live_pids(pool) -> "frozenset[int] | None":
+    """The pool's current worker pids (None when not introspectable)."""
+    procs = getattr(pool, "_pool", None)
+    if procs is None:
+        return None
+    try:
+        return frozenset(p.pid for p in procs if p.is_alive())
+    except Exception:  # pragma: no cover - defensive
+        return None
+
+
+def _settled_pids(pool, processes: int, wait: float = 1.0):
+    """Worker pids once the pool has replaced any dead workers (bounded
+    wait; a worker that keeps dying just yields the current set)."""
+    end = time.monotonic() + wait
+    while time.monotonic() < end:
+        pids = _live_pids(pool)
+        if pids is None:
+            return None
+        if len(pids) == processes:
+            return pids
+        time.sleep(0.005)
+    return _live_pids(pool)
+
+
+class _Supervisor:
+    """AsyncResult-based dispatch with crash/hang detection and retry.
+
+    Replaces the old bare ``imap_unordered`` loop: every task is an
+    ``apply_async`` handle polled by the coordinator, so the three
+    failure modes a pool is blind to become recoverable events —
+
+    * a worker that **raises** surfaces through ``AsyncResult.get`` and
+      the task is resubmitted;
+    * a worker that is **killed** (OOM, SIGKILL) is noticed via the
+      pool's worker pids changing; its task's result would never
+      arrive, so all outstanding tasks are resubmitted (they are pure,
+      duplicates are ignored — first completion per index wins);
+    * a worker that **hangs** past ``task_timeout`` is detected by
+      deadline; the pool is torn down (the only way to reclaim the
+      wedged slot) and rebuilt, and the outstanding tasks resubmitted.
+
+    A task failing more than ``task_retries`` times is handed back to
+    the caller for serial re-exploration in the coordinator.
+    """
+
+    def __init__(self, ctx, jobs, program, model_name, options, trace_base, budget, observer):
+        self.ctx = ctx
+        self.jobs = jobs
+        self.program = program
+        self.model_name = model_name
+        self.options = options
+        self.trace_base = trace_base
+        self.budget = budget
+        self.obs = observer
+        self.results: dict[int, VerificationResult] = {}
+        self.winning_paths: dict[int, str] = {}
+        self.fallback: list[int] = []
+        self.stopped = False
+        self.acct = {
+            "tasks_failed": 0,
+            "tasks_retried": 0,
+            "tasks_timeout": 0,
+            "workers_lost": 0,
+        }
+        self.states: dict[int, _TaskState] = {}
+        self.pool = None
+        self.processes = 0
+        self._known_pids = None
+
+    # -- pool lifecycle ---------------------------------------------------
+
+    def _new_pool(self):
+        self.pool = self.ctx.Pool(
+            processes=self.processes,
+            initializer=_init_worker,
+            initargs=(self.budget,),
+        )
+        self._known_pids = _settled_pids(self.pool, self.processes)
+
+    def _teardown_pool(self) -> None:
+        if self.pool is not None:
+            self.pool.terminate()
+            self.pool.join()
+            self.pool = None
+
+    # -- submission -------------------------------------------------------
+
+    def _submit(self, state: _TaskState) -> None:
+        attempt = state.attempts
+        task: SubtreeTask = (
+            state.index,
+            attempt,
+            self.program,
+            self.model_name,
+            self.options,
+            state.prefix,
+            _trace_path(self.trace_base, state.index, attempt),
+        )
+        state.handles.append(self.pool.apply_async(_run_subtree, (task,)))
+        state.attempts = attempt + 1
+        state.deadline = (
+            None
+            if self.options.task_timeout is None
+            else time.monotonic() + self.options.task_timeout
+        )
+
+    def _retry_or_fallback(self, state: _TaskState, outstanding: set) -> None:
+        """After a failure was charged: resubmit, or escalate to the
+        coordinator's serial fallback once retries are exhausted."""
+        if state.failures > self.options.task_retries:
+            outstanding.discard(state.index)
+            self.fallback.append(state.index)
+            return
+        self.acct["tasks_retried"] += 1
+        if self.obs.trace_enabled:
+            self.obs.emit(
+                "task_retried", task=state.index, attempt=state.attempts
+            )
+        self._submit(state)
+
+    # -- the supervision loop --------------------------------------------
+
+    def run(self, prefixes: list[ExecutionGraph]) -> None:
+        self.states = {
+            i: _TaskState(index=i, prefix=p) for i, p in enumerate(prefixes)
+        }
+        self.processes = min(self.jobs, len(self.states))
+        outstanding = set(self.states)
+        self._new_pool()
+        try:
+            for index in sorted(outstanding):
+                self._submit(self.states[index])
+            while outstanding and not self.stopped:
+                progressed = self._collect(outstanding)
+                if self.stopped or not outstanding:
+                    break
+                self._check_timeouts(outstanding)
+                self._check_workers(outstanding)
+                if not progressed:
+                    time.sleep(_POLL_INTERVAL)
+        finally:
+            # stale duplicate attempts may still be running; never wait
+            self._teardown_pool()
+        self.cancelled = len(outstanding) if self.stopped else 0
+        if self.stopped:
+            self.fallback = []
+
+    def _collect(self, outstanding: set) -> bool:
+        """Harvest ready handles; returns whether anything completed."""
+        progressed = False
+        for index in sorted(outstanding):
+            state = self.states[index]
+            done = next((h for h in state.handles if h.ready()), None)
+            if done is None:
+                continue
+            progressed = True
+            try:
+                _, attempt, result = done.get()
+            except BaseException as exc:
+                state.handles.remove(done)
+                state.failures += 1
+                self.acct["tasks_failed"] += 1
+                if self.obs.trace_enabled:
+                    self.obs.emit(
+                        "task_failed",
+                        task=index,
+                        reason="exception",
+                        error=repr(exc),
+                    )
+                self._retry_or_fallback(state, outstanding)
+                continue
+            outstanding.discard(index)
+            self.results[index] = result
+            path = _trace_path(self.trace_base, index, attempt)
+            if path is not None:
+                self.winning_paths[index] = path
+            if self.options.stop_on_error and result.errors:
+                self.stopped = True
+                return True
+        return progressed
+
+    def _check_timeouts(self, outstanding: set) -> None:
+        """Kill and rebuild the pool when a task overruns its deadline
+        (a wedged worker can only be reclaimed by pool teardown)."""
+        now = time.monotonic()
+        timed_out = [
+            i
+            for i in sorted(outstanding)
+            if self.states[i].deadline is not None
+            and now >= self.states[i].deadline
+        ]
+        if not timed_out:
+            return
+        for index in timed_out:
+            state = self.states[index]
+            state.failures += 1
+            self.acct["tasks_timeout"] += 1
+            if self.obs.trace_enabled:
+                self.obs.emit(
+                    "task_timeout",
+                    task=index,
+                    attempt=state.attempts - 1,
+                    timeout=self.options.task_timeout,
+                )
+            if state.failures > self.options.task_retries:
+                outstanding.discard(index)
+                self.fallback.append(index)
+        # terminate() reclaims the hung slot but also kills the innocent
+        # in-flight attempts, so every outstanding task is resubmitted
+        # (without a failure charge for the innocents)
+        self._teardown_pool()
+        for index in outstanding:
+            self.states[index].handles.clear()
+        self._new_pool()
+        for index in sorted(outstanding):
+            state = self.states[index]
+            if index in timed_out:
+                self.acct["tasks_retried"] += 1
+                if self.obs.trace_enabled:
+                    self.obs.emit(
+                        "task_retried", task=index, attempt=state.attempts
+                    )
+            self._submit(state)
+
+    def _check_workers(self, outstanding: set) -> None:
+        """Detect killed workers via the pool's pid set changing.
+
+        The pool replaces a dead worker transparently but the task it
+        was running would never report back; which task that was is not
+        observable, so every outstanding task is charged one failure
+        and resubmitted (subtree tasks are pure — the duplicate attempt
+        of a task that was actually fine is harmless, its first
+        completion wins).
+        """
+        current = _live_pids(self.pool)
+        if current is None or self._known_pids is None:
+            return
+        if current == self._known_pids:
+            return
+        self.acct["workers_lost"] += max(
+            1, len(self._known_pids - current)
+        )
+        self.acct["tasks_failed"] += 1
+        if self.obs.trace_enabled:
+            self.obs.emit(
+                "task_failed",
+                reason="worker_lost",
+                outstanding=sorted(outstanding),
+            )
+        for index in sorted(outstanding):
+            state = self.states[index]
+            state.failures += 1
+            self._retry_or_fallback(state, outstanding)
+        self._known_pids = _settled_pids(self.pool, self.processes)
 
 
 def verify_parallel(
@@ -141,6 +586,16 @@ def verify_parallel(
     ``jobs`` defaults to the resolution of ``options.jobs`` /
     ``REPRO_JOBS`` (0 means one worker per CPU).  Falls back to the
     serial explorer when only one job is requested.
+
+    Fault tolerance (see docs/PARALLEL.md): crashed, killed or hung
+    workers are detected, their tasks retried up to
+    ``options.task_retries`` times and finally re-explored serially in
+    the coordinator, so the merged result is complete even under
+    worker faults.  ``max_executions``/``max_explored`` are enforced
+    globally through a shared :class:`GlobalBudget`.  The returned
+    result keeps its ``execution_records`` (it is ``keyed``) so it can
+    be merged again safely; the public :func:`repro.core.verify` entry
+    point strips them at the API boundary.
     """
     options = options or ExplorationOptions()
     model = get_model(model) if isinstance(model, str) else model
@@ -163,69 +618,96 @@ def verify_parallel(
     target = jobs * options.oversubscription
     # workers (and the splitting coordinator) record per-execution
     # canonical keys so the merge can reconcile cross-worker duplicates
-    shard_options = replace(options, collect_keys=True, jobs=None)
+    split_options = replace(options, collect_keys=True, jobs=None)
     frontier, merged, aborted = split_frontier(
-        program, model, shard_options, target, observer=obs
+        program, model, split_options, target, observer=obs
+    )
+    ctx = multiprocessing.get_context()
+    budget = None
+    if options.max_executions is not None or options.max_explored is not None:
+        # charge what the split phase already consumed; workers share
+        # the remainder
+        budget = GlobalBudget(
+            options.max_executions,
+            options.max_explored,
+            executions_used=merged.executions,
+            explored_used=merged.explored,
+            ctx=ctx,
+        )
+    # workers draw from the global budget instead of each applying the
+    # whole limit locally (the PR-2 engine overshot by tasks × limit)
+    worker_options = replace(
+        split_options, max_executions=None, max_explored=None
     )
     trace_base = _worker_trace_base(obs)
-    tasks: list[SubtreeTask] = []
-    if not aborted:
-        tasks = [
-            (
-                index,
-                program,
-                model.name,
-                shard_options,
-                prefix,
-                None
-                if trace_base is None
-                else f"{trace_base}.worker{index}",
-            )
-            for index, prefix in enumerate(frontier)
-        ]
-    worker_results: dict[int, VerificationResult] = {}
+    supervisor = None
     cancelled = 0
-    if tasks:
+    if not aborted and frontier:
         if obs.trace_enabled:
-            obs.emit("parallel_dispatch", tasks=len(tasks), jobs=jobs)
-        pool = multiprocessing.get_context().Pool(
-            processes=min(jobs, len(tasks))
+            obs.emit("parallel_dispatch", tasks=len(frontier), jobs=jobs)
+        supervisor = _Supervisor(
+            ctx, jobs, program, model.name, worker_options,
+            trace_base, budget, obs,
         )
-        try:
-            stop = False
-            for index, result in pool.imap_unordered(_run_subtree, tasks):
-                worker_results[index] = result
-                if options.stop_on_error and result.errors:
-                    stop = True
-                    break
-            if stop:
-                cancelled = len(tasks) - len(worker_results)
-                pool.terminate()
-            else:
-                pool.close()
-        except BaseException:
-            pool.terminate()
-            raise
-        finally:
-            pool.join()
+        supervisor.run(frontier)
+        cancelled = supervisor.cancelled
+        # graceful degradation: subtrees whose tasks kept failing are
+        # re-explored serially right here, so the run still returns a
+        # complete deterministic result
+        for position, index in enumerate(supervisor.fallback):
+            if obs.trace_enabled:
+                obs.emit("task_fallback", task=index)
+            fb_obs = (
+                Observer(trace=obs.trace) if obs.trace_enabled else NULL_OBSERVER
+            )
+            supervisor.results[index] = Explorer(
+                program,
+                model,
+                worker_options,
+                observer=fb_obs,
+                root=supervisor.states[index].prefix,
+                budget=budget,
+            ).run()
+            if options.stop_on_error and supervisor.results[index].errors:
+                cancelled += len(supervisor.fallback) - position - 1
+                break
+    worker_results = supervisor.results if supervisor is not None else {}
     for index in sorted(worker_results):
         merged = merged.merge(worker_results[index])
-    if trace_base is not None:
-        _fold_worker_traces(
-            obs, [(t[0], t[5]) for t in tasks if t[0] in worker_results]
-        )
+    if supervisor is not None and trace_base is not None:
+        _fold_worker_traces(obs, sorted(supervisor.winning_paths.items()))
     merged.elapsed = time.perf_counter() - start
-    merged.truncated = merged.truncated or cancelled > 0
+    merged.truncated = (
+        merged.truncated
+        or cancelled > 0
+        or (budget is not None and budget.limit_hit)
+    )
+    acct = (
+        supervisor.acct
+        if supervisor is not None
+        else {
+            "tasks_failed": 0,
+            "tasks_retried": 0,
+            "tasks_timeout": 0,
+            "workers_lost": 0,
+        }
+    )
     merged.meta.update(
         {
             "jobs": jobs,
-            "tasks": len(tasks),
+            "tasks": len(frontier) if not aborted else 0,
             "tasks_cancelled": cancelled,
+            "tasks_fallback": sum(
+                1 for i in supervisor.fallback if i in supervisor.results
+            )
+            if supervisor is not None
+            else 0,
             "oversubscription": options.oversubscription,
+            **acct,
         }
     )
-    if not options.collect_keys:
-        merged.execution_records = []
+    if budget is not None:
+        merged.meta.update(budget.snapshot())
     if obs.enabled:
         merged.phase_times = merge_phase_times(
             merged.phase_times, obs.phase_report()
@@ -241,7 +723,7 @@ def verify_parallel(
             stats=merged.stats.as_dict(),
             phases=merged.phase_times,
             jobs=jobs,
-            tasks=len(tasks),
+            tasks=merged.meta["tasks"],
         )
         obs.finish(executions=merged.executions, blocked=merged.blocked)
     return merged
@@ -253,12 +735,17 @@ def _fold_worker_traces(observer, indexed_paths: list[tuple[int, str]]) -> None:
     Records keep their type and fields, gain a ``worker`` index, and are
     re-stamped with the coordinator's ``seq``/``ts`` (per-worker files
     stay on disk for debugging).  ``trace_start`` records are skipped so
-    the merged file has a single header.
+    the merged file has a single header.  Only the *winning* attempt of
+    each task is folded — failed attempts' partial traces would make
+    ``trace-summary`` disagree with the merged result — and a file cut
+    off mid-record (worker terminated while writing) contributes its
+    valid prefix plus a ``trace_truncated`` marker instead of being
+    discarded wholesale.
     """
     for index, path in sorted(indexed_paths):
         try:
-            records = read_trace(path)
-        except (OSError, ValueError):
+            records, truncated = read_trace_prefix(path)
+        except OSError:
             continue  # a cancelled worker may have left nothing behind
         for record in records:
             type_ = record.pop("t")
@@ -267,3 +754,5 @@ def _fold_worker_traces(observer, indexed_paths: list[tuple[int, str]]) -> None:
             record.pop("seq", None)
             record.pop("ts", None)
             observer.emit(type_, worker=index, **record)
+        if truncated:
+            observer.emit("trace_truncated", worker=index, kept=len(records))

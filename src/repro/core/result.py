@@ -11,13 +11,17 @@ from ..graphs import ExecutionGraph
 Outcome = tuple[tuple[str, int], ...]
 
 
+def _summable(value) -> bool:
+    # bool is an int subclass, but True + True == 2 is never the right
+    # way to combine two workers' flags — booleans stay left-biased
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
 def _merge_meta(left: dict, right: dict) -> dict:
     """Sum numeric entries shared by both sides, otherwise left-biased."""
     merged = dict(left)
     for key, value in right.items():
-        if key in merged and isinstance(merged[key], (int, float)) and isinstance(
-            value, (int, float)
-        ):
+        if key in merged and _summable(merged[key]) and _summable(value):
             merged[key] = merged[key] + value
         else:
             merged.setdefault(key, value)
@@ -167,6 +171,15 @@ class VerificationResult:
             raise ValueError(
                 f"cannot merge results of different tasks: "
                 f"{(self.program, self.model)} vs {(other.program, other.model)}"
+            )
+        if self.keyed != other.keyed and self.executions and other.executions:
+            # mixing a keyed result with an unkeyed one would silently
+            # fall into the unkeyed sum path and double-count any
+            # execution both sides discovered; refuse instead of lying
+            raise ValueError(
+                "cannot merge a keyed result with an unkeyed one: "
+                "execution records were stripped (or never collected) "
+                "on one side, so cross-side deduplication is impossible"
             )
         merged = VerificationResult(program=self.program, model=self.model)
         merged.blocked = self.blocked + other.blocked

@@ -27,6 +27,7 @@ from .trace import (
     TraceWriter,
     parse_trace,
     read_trace,
+    read_trace_prefix,
 )
 
 __all__ = [
@@ -48,4 +49,5 @@ __all__ = [
     "TraceWriter",
     "parse_trace",
     "read_trace",
+    "read_trace_prefix",
 ]

@@ -34,6 +34,15 @@ class TraceSummary:
     revisits_considered: int = 0
     revisits_performed: int = 0
     revisits_rejected: dict[str, int] = field(default_factory=dict)
+    #: parallel fault-model accounting (see docs/PARALLEL.md): subtree
+    #: tasks dispatched to the pool and what happened to them
+    tasks_dispatched: int = 0
+    tasks_failed: int = 0
+    tasks_retried: int = 0
+    tasks_timeout: int = 0
+    tasks_fallback: int = 0
+    #: worker trace files whose tail had to be discarded mid-record
+    traces_truncated: int = 0
     #: per-phase timing from the run_end record (may be empty when the
     #: run died before completing)
     phases: dict[str, dict[str, float]] = field(default_factory=dict)
@@ -89,6 +98,18 @@ def summarize_records(records: Iterable[dict]) -> TraceSummary:
             s.duplicates += 1
         elif t == "error":
             s.errors += 1
+        elif t == "parallel_dispatch":
+            s.tasks_dispatched += rec.get("tasks", 0)
+        elif t == "task_failed":
+            s.tasks_failed += 1
+        elif t == "task_retried":
+            s.tasks_retried += 1
+        elif t == "task_timeout":
+            s.tasks_timeout += 1
+        elif t == "task_fallback":
+            s.tasks_fallback += 1
+        elif t == "trace_truncated":
+            s.traces_truncated += 1
         elif t == "run_end":
             s.phases = rec.get("phases", {}) or {}
             s.elapsed = rec.get("elapsed")
@@ -142,6 +163,16 @@ def format_summary(s: TraceSummary) -> str:
             f"{k}={v}" for k, v in sorted(s.revisits_rejected.items())
         )
         lines.append(f"  rejected : {shown}")
+    if s.tasks_dispatched or s.tasks_failed or s.tasks_retried:
+        lines.append(
+            f"parallel   : dispatched={s.tasks_dispatched} "
+            f"failed={s.tasks_failed} retried={s.tasks_retried} "
+            f"timeout={s.tasks_timeout} fallback={s.tasks_fallback}"
+        )
+    if s.traces_truncated:
+        lines.append(
+            f"  traces   : {s.traces_truncated} worker trace(s) truncated"
+        )
     if s.truncated:
         lines.append("truncated  : yes (a search limit was hit)")
     lines.append("time by phase:")

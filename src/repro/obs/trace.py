@@ -122,3 +122,29 @@ def read_trace(path: str) -> list[dict]:
     """Read a whole JSONL trace file into a list of records."""
     with open(path, encoding="utf-8") as handle:
         return list(parse_trace(handle))
+
+
+def read_trace_prefix(path: str) -> tuple[list[dict], bool]:
+    """Read the longest valid record prefix of a JSONL trace file.
+
+    A worker killed mid-write (crash, timeout, ``stop_on_error``
+    cancellation) leaves a truncated final line; unlike
+    :func:`read_trace`, which raises and loses every valid record with
+    it, this stops at the first malformed line and returns
+    ``(records, truncated)`` where ``truncated`` says whether anything
+    had to be discarded.
+    """
+    records: list[dict] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                return records, True
+            if not isinstance(record, dict) or "t" not in record:
+                return records, True
+            records.append(record)
+    return records, False

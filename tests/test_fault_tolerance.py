@@ -1,0 +1,404 @@
+"""Fault-tolerance and budget-correctness tests for the parallel engine.
+
+Covers the PR-3 fault model (docs/PARALLEL.md): global
+``max_executions``/``max_explored`` budgets shared across workers,
+crash/hang/exception injection with bounded retry and serial fallback,
+merge-layer bugfixes (boolean meta, keyed/unkeyed mixing), and
+truncated-worker-trace folding.
+
+Fault injection uses the ``REPRO_FAULT_INJECT`` hook in
+``repro.core.parallel._run_subtree`` (documented there): workers crash
+(SIGKILL themselves), hang, or raise — once (marker file) or on every
+attempt (no marker, exercising the serial-fallback path).
+"""
+
+import os
+
+import pytest
+
+from repro.core import (
+    ExplorationOptions,
+    Explorer,
+    GlobalBudget,
+    VerificationResult,
+    verify,
+    verify_parallel,
+)
+from repro.core.result import _merge_meta
+from repro.lang import ProgramBuilder
+from repro.litmus import get_litmus
+from repro.obs import Observer, read_trace_prefix, summarize_file
+from repro.bench.workloads import FAMILIES
+
+
+def sharded_program():
+    """A workload big enough that the split phase actually carves out
+    subtree tasks for a 2-job pool (sb(3): 8 executions, 8+ tasks)."""
+    return FAMILIES["sb"](3)
+
+
+def serial_result(program, model="tso", **overrides):
+    options = ExplorationOptions(stop_on_error=False, **overrides)
+    return Explorer(program, model, options).run()
+
+
+@pytest.fixture
+def inject(monkeypatch, tmp_path):
+    """Set REPRO_FAULT_INJECT, returning a helper that builds specs."""
+
+    def _set(kind, tasks="", once=True):
+        marker = str(tmp_path / f"{kind}-marker") if once else ""
+        monkeypatch.setenv(
+            "REPRO_FAULT_INJECT", f"{kind}:{tasks}:{marker}"
+        )
+
+    monkeypatch.delenv("REPRO_FAULT_INJECT", raising=False)
+    return _set
+
+
+# -- satellite: merge-layer bugfixes ---------------------------------------
+
+
+class TestMergeMeta:
+    def test_booleans_not_summed(self):
+        merged = _merge_meta({"flag": True, "n": 1}, {"flag": True, "n": 2})
+        assert merged["flag"] is True  # was 2 before the fix
+        assert merged["n"] == 3
+
+    def test_booleans_left_biased(self):
+        assert _merge_meta({"flag": False}, {"flag": True})["flag"] is False
+
+    def test_bool_numeric_mix_left_biased(self):
+        merged = _merge_meta({"x": True}, {"x": 5})
+        assert merged["x"] is True
+        merged = _merge_meta({"x": 5}, {"x": True})
+        assert merged["x"] == 5
+
+    def test_result_merge_keeps_boolean_meta(self):
+        a = VerificationResult(program="p", model="sc")
+        b = VerificationResult(program="p", model="sc")
+        a.meta = {"converged": True, "traces": 3}
+        b.meta = {"converged": True, "traces": 4}
+        merged = a.merge(b)
+        assert merged.meta["converged"] is True
+        assert merged.meta["traces"] == 7
+
+
+class TestKeyedUnkeyedMix:
+    def test_mixing_raises(self):
+        keyed = serial_result(sharded_program(), collect_keys=True)
+        stripped = serial_result(sharded_program(), collect_keys=True)
+        stripped.execution_records = []  # what an API-boundary strip does
+        with pytest.raises(ValueError, match="keyed"):
+            keyed.merge(stripped)
+        with pytest.raises(ValueError, match="keyed"):
+            stripped.merge(keyed)
+
+    def test_empty_side_is_fine(self):
+        keyed = serial_result(sharded_program(), collect_keys=True)
+        empty = VerificationResult(program=keyed.program, model=keyed.model)
+        assert keyed.merge(empty).executions == keyed.executions
+
+    def test_verify_parallel_result_stays_keyed(self):
+        result = verify_parallel(
+            sharded_program(),
+            "tso",
+            ExplorationOptions(stop_on_error=False),
+            jobs=2,
+        )
+        assert result.keyed
+        # merging the parallel result with itself reconciles by key
+        # instead of silently double-counting (the PR-2 bug)
+        remerged = result.merge(result)
+        assert remerged.executions == result.executions
+
+    def test_verify_strips_at_boundary(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        result = verify(
+            sharded_program(), "tso", stop_on_error=False, jobs=2
+        )
+        assert result.meta.get("jobs") == 2
+        assert result.execution_records == []
+
+
+# -- satellite: truncated worker traces ------------------------------------
+
+
+class TestTruncatedTraces:
+    def _write(self, path, lines):
+        path.write_text("\n".join(lines) + "\n")
+
+    def test_read_trace_prefix_clean(self, tmp_path):
+        p = tmp_path / "t.jsonl"
+        self._write(p, ['{"t":"trace_start","seq":1}', '{"t":"run_end","seq":2}'])
+        records, truncated = read_trace_prefix(str(p))
+        assert [r["t"] for r in records] == ["trace_start", "run_end"]
+        assert not truncated
+
+    def test_read_trace_prefix_truncated_line(self, tmp_path):
+        p = tmp_path / "t.jsonl"
+        self._write(
+            p,
+            [
+                '{"t":"trace_start","seq":1}',
+                '{"t":"graph_complete","seq":2}',
+                '{"t":"graph_blo',  # killed mid-write
+            ],
+        )
+        records, truncated = read_trace_prefix(str(p))
+        assert len(records) == 2
+        assert truncated
+
+    def test_fold_keeps_valid_prefix_and_marks(self, tmp_path):
+        from repro.core.parallel import _fold_worker_traces
+
+        worker = tmp_path / "run.jsonl.worker0"
+        self._write(
+            worker,
+            [
+                '{"t":"trace_start","seq":1,"ts":0.0,"schema":1}',
+                '{"t":"graph_complete","seq":2,"ts":0.1,"events":4}',
+                '{"t":"graph_comp',
+            ],
+        )
+        obs = Observer.in_memory()
+        _fold_worker_traces(obs, [(0, str(worker))])
+        types = [r["t"] for r in obs.records()]
+        assert "graph_complete" in types  # valid prefix folded, not lost
+        assert "trace_truncated" in types
+        marker = next(r for r in obs.records() if r["t"] == "trace_truncated")
+        assert marker["worker"] == 0 and marker["kept"] == 2
+
+    def test_missing_file_still_skipped(self, tmp_path):
+        from repro.core.parallel import _fold_worker_traces
+
+        obs = Observer.in_memory()
+        _fold_worker_traces(obs, [(0, str(tmp_path / "nope.jsonl"))])
+        assert [r["t"] for r in obs.records()] == ["trace_start"]
+
+
+# -- tentpole: global budgets ----------------------------------------------
+
+
+class TestGlobalBudget:
+    def test_take_execution_drains(self):
+        budget = GlobalBudget(max_executions=2)
+        assert budget.take_execution()
+        assert not budget.limit_hit
+        assert budget.take_execution()  # the Nth take succeeds...
+        assert budget.limit_hit  # ...and latches the limit
+        assert not budget.take_execution()
+
+    def test_preconsumed_budget(self):
+        budget = GlobalBudget(max_executions=3, executions_used=3)
+        assert budget.limit_hit
+        assert not budget.take_execution()
+
+    def test_unlimited_dimension_free(self):
+        budget = GlobalBudget(max_explored=1)
+        assert budget.take_execution()  # no execution limit set
+        assert budget.take_explored()
+        assert not budget.take_explored()
+        assert budget.limit_hit
+
+    def test_parallel_run_never_exceeds_budget(self):
+        program = sharded_program()
+        total = serial_result(program).executions
+        for limit in (1, 3, total - 1):
+            result = verify_parallel(
+                program,
+                "tso",
+                ExplorationOptions(stop_on_error=False, max_executions=limit),
+                jobs=2,
+            )
+            assert result.executions <= limit, limit
+            assert result.truncated, limit  # the limit bit
+
+    def test_truncated_false_when_limit_never_bites(self):
+        program = sharded_program()
+        total = serial_result(program).executions
+        result = verify_parallel(
+            program,
+            "tso",
+            ExplorationOptions(
+                stop_on_error=False, max_executions=total + 100
+            ),
+            jobs=2,
+        )
+        assert result.executions == total
+        assert not result.truncated
+
+    def test_max_explored_holds_globally(self):
+        program = sharded_program()
+        result = verify_parallel(
+            program,
+            "tso",
+            ExplorationOptions(stop_on_error=False, max_explored=4),
+            jobs=2,
+        )
+        assert result.explored <= 4
+        assert result.truncated
+
+    def test_budget_consumption_reported(self):
+        result = verify_parallel(
+            sharded_program(),
+            "tso",
+            ExplorationOptions(stop_on_error=False, max_executions=3),
+            jobs=2,
+        )
+        assert result.meta["budget_executions"] <= 3
+
+
+# -- tentpole: worker supervision ------------------------------------------
+
+
+class TestWorkerFaults:
+    def assert_matches_serial(self, result, serial, label):
+        assert result.executions == serial.executions, label
+        assert result.outcomes == serial.outcomes, label
+        assert result.final_states == serial.final_states, label
+
+    def test_crashed_worker_retried(self, inject):
+        """A SIGKILLed worker is detected and its task re-run."""
+        program = sharded_program()
+        serial = serial_result(program)
+        inject("crash", once=True)
+        result = verify_parallel(
+            program, "tso", ExplorationOptions(stop_on_error=False), jobs=2
+        )
+        self.assert_matches_serial(result, serial, "crash")
+        assert result.meta["workers_lost"] >= 1
+        assert result.meta["tasks_retried"] >= 1
+
+    def test_raising_worker_retried(self, inject):
+        program = sharded_program()
+        serial = serial_result(program)
+        inject("raise", tasks="1", once=True)
+        result = verify_parallel(
+            program, "tso", ExplorationOptions(stop_on_error=False), jobs=2
+        )
+        self.assert_matches_serial(result, serial, "raise")
+        assert result.meta["tasks_failed"] >= 1
+        assert result.meta["tasks_retried"] >= 1
+
+    def test_persistent_failure_falls_back_serially(self, inject):
+        """A task that fails every attempt is re-explored in the
+        coordinator: complete result, no exception."""
+        program = sharded_program()
+        serial = serial_result(program)
+        inject("raise", tasks="0", once=False)
+        result = verify_parallel(
+            program, "tso", ExplorationOptions(stop_on_error=False), jobs=2
+        )
+        self.assert_matches_serial(result, serial, "fallback")
+        assert result.meta["tasks_fallback"] == 1
+        assert result.meta["tasks_failed"] >= 1
+
+    def test_hung_worker_times_out_and_retries(self, inject):
+        program = sharded_program()
+        serial = serial_result(program)
+        inject("hang", tasks="1", once=True)
+        result = verify_parallel(
+            program,
+            "tso",
+            ExplorationOptions(stop_on_error=False, task_timeout=1.0),
+            jobs=2,
+        )
+        self.assert_matches_serial(result, serial, "hang")
+        assert result.meta["tasks_timeout"] >= 1
+        assert result.meta["tasks_retried"] >= 1
+
+    def test_persistent_hang_falls_back(self, inject):
+        program = sharded_program()
+        serial = serial_result(program)
+        inject("hang", tasks="0", once=False)
+        result = verify_parallel(
+            program,
+            "tso",
+            ExplorationOptions(
+                stop_on_error=False, task_timeout=0.5, task_retries=1
+            ),
+            jobs=2,
+        )
+        self.assert_matches_serial(result, serial, "hang-fallback")
+        assert result.meta["tasks_fallback"] >= 1
+
+    def test_crash_with_budget_stays_bounded(self, inject):
+        """Faults must not let a bounded run overshoot its budget."""
+        program = sharded_program()
+        inject("crash", once=True)
+        result = verify_parallel(
+            program,
+            "tso",
+            ExplorationOptions(stop_on_error=False, max_executions=4),
+            jobs=2,
+        )
+        assert result.executions <= 4
+
+    def test_litmus_determinism_under_crash(self, inject):
+        """The acceptance assertion: injected crashes leave litmus
+        verdicts identical to serial ones."""
+        inject("crash", once=True)
+        for name in ("SB", "MP", "LB"):
+            program = get_litmus(name).program
+            serial = serial_result(program, "tso")
+            result = verify_parallel(
+                program,
+                "tso",
+                ExplorationOptions(stop_on_error=False),
+                jobs=2,
+            )
+            self.assert_matches_serial(result, serial, name)
+
+
+class TestCancellationAccounting:
+    def test_cancelled_consistent_with_folded_traces(self, tmp_path):
+        """stop_on_error: collected + cancelled == dispatched, and only
+        collected workers' traces are folded back."""
+        p = ProgramBuilder("racy-wide")
+        for i in range(4):
+            t = p.thread()
+            t.store(f"x{i}", 1)
+            t.load(f"x{(i + 1) % 4}")
+        t = p.thread()
+        r = t.load("x0")
+        t.assert_(r.eq(0), "saw the store")
+        program = p.build()
+        trace = tmp_path / "run.jsonl"
+        obs = Observer.to_file(str(trace))
+        result = verify_parallel(
+            program, "sc", ExplorationOptions(stop_on_error=True),
+            observer=obs, jobs=2,
+        )
+        obs.close()
+        assert result.errors and result.truncated
+        meta = result.meta
+        collected = meta["tasks"] - meta["tasks_cancelled"]
+        assert 0 <= meta["tasks_cancelled"] <= meta["tasks"]
+        summary = summarize_file(str(trace))
+        assert summary.tasks_dispatched == meta["tasks"]
+        # each collected worker's folded trace carries its own run_end
+        # (tagged worker=N); cancelled workers are never folded, so the
+        # folded count must equal tasks - tasks_cancelled
+        from repro.obs import read_trace
+
+        folded_runs = sum(
+            1
+            for rec in read_trace(str(trace))
+            if rec["t"] == "run_end" and "worker" in rec
+        )
+        assert folded_runs == collected
+
+
+class TestOptionValidation:
+    def test_task_timeout_positive(self):
+        with pytest.raises(ValueError, match="task_timeout"):
+            ExplorationOptions(task_timeout=0)
+        with pytest.raises(ValueError, match="task_timeout"):
+            ExplorationOptions(task_timeout=-1.0)
+        assert ExplorationOptions(task_timeout=2.5).task_timeout == 2.5
+
+    def test_task_retries_non_negative(self):
+        with pytest.raises(ValueError, match="task_retries"):
+            ExplorationOptions(task_retries=-1)
+        assert ExplorationOptions(task_retries=0).task_retries == 0

@@ -226,10 +226,17 @@ class TestSplitFrontier:
 
 class TestParallelEquivalence:
     def test_dispatch_guard(self, monkeypatch):
-        """verify() only shards unbounded deduplicated runs."""
+        """verify() shards deduplicated runs — bounded ones included
+        (a GlobalBudget holds the limit globally) — but a run that
+        explicitly disabled deduplication stays serial."""
         monkeypatch.delenv("REPRO_JOBS", raising=False)
         bounded = verify(sb(), "tso", jobs=2, max_executions=2)
-        assert "jobs" not in bounded.meta  # stayed serial
+        assert bounded.meta.get("jobs") == 2  # sharded, budget enforced
+        assert bounded.executions <= 2 and bounded.truncated
+        no_dedup = verify(
+            sb(), "tso", jobs=2, stop_on_error=False, deduplicate=False
+        )
+        assert "jobs" not in no_dedup.meta  # stayed serial
         sharded = verify(sb(), "tso", jobs=2, stop_on_error=False)
         assert sharded.meta.get("jobs") == 2
 
