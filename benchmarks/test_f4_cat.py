@@ -1,0 +1,65 @@
+"""F4 — interpretation overhead of declarative .cat models.
+
+The shipped .cat twins are extensionally equal to the hand-coded
+models (tests/test_cat_differential.py), so any wall-clock difference
+between a pair of rows here is pure DSL-evaluator overhead: the cat
+path re-derives its relations through the expression tree on every
+consistency check instead of running fused Python.
+"""
+
+from pathlib import Path
+
+import pytest
+
+import repro.models
+from repro.bench.harness import run_hmc
+from repro.bench.workloads import sb_n
+from repro.litmus import get_litmus
+from repro.models import load_cat
+
+CAT_DIR = Path(repro.models.__file__).parent / "cat"
+MODELS = ["sc", "tso", "ra", "coherence"]
+PROGRAMS = {
+    "sb(3)": sb_n(3),
+    "MP": get_litmus("MP").program,
+    "IRIW": get_litmus("IRIW").program,
+}
+
+
+def cat_model(name):
+    return load_cat(str(CAT_DIR / f"{name}.cat"))
+
+
+@pytest.mark.parametrize("model", MODELS)
+@pytest.mark.parametrize("name", list(PROGRAMS))
+def test_f4_handcoded(benchmark, name, model, record_rows):
+    row = benchmark.pedantic(
+        run_hmc, args=(PROGRAMS[name], model), rounds=1, iterations=1
+    )
+    record_rows(f"F4 {name} {model} (hand-coded)", [row])
+
+
+@pytest.mark.parametrize("model", MODELS)
+@pytest.mark.parametrize("name", list(PROGRAMS))
+def test_f4_cat(benchmark, name, model, record_rows):
+    row = benchmark.pedantic(
+        run_hmc,
+        args=(PROGRAMS[name], cat_model(model)),
+        kwargs={"tool_name": "hmc-cat"},
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(f"F4 {name} {model} (.cat)", [row])
+
+
+def test_f4_counts_identical(record_rows):
+    """The overhead comparison is only honest if both sides explore
+    the same space; pin that here too."""
+    for name, program in PROGRAMS.items():
+        for model in MODELS:
+            hand = run_hmc(program, model)
+            cat = run_hmc(program, cat_model(model), tool_name="hmc-cat")
+            assert (hand.executions, hand.blocked) == (
+                cat.executions,
+                cat.blocked,
+            ), (name, model)

@@ -79,8 +79,11 @@ class _FunctionBackend:
                 f"backend {self.name!r} only supports models "
                 f"{'/'.join(self.models)}, not {model_name!r}"
             )
+        # model objects (e.g. unregistered CatModels loaded from .cat
+        # files) pass through untouched; runners that only need a name
+        # normalise themselves
         return self._runner(
-            program, model_name, options or ExplorationOptions(), observer
+            program, model, options or ExplorationOptions(), observer
         )
 
 

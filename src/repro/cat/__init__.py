@@ -1,0 +1,48 @@
+"""repro.cat — a declarative, herd-style axiomatic-model DSL.
+
+HMC's defining move is that the memory model is an *input*: an
+axiomatic specification over ``po``/``rf``/``co``.  This package makes
+that literal.  A ``.cat`` file names derived relations with ``let``
+(including recursive fixpoint definitions), combines them with the
+relational operators ``| ; & \\ ^-1 ? + *``, and states the model as
+``acyclic``/``irreflexive``/``empty`` constraints.  The text compiles
+onto :mod:`repro.relations` and runs through the unchanged exploration
+core via :class:`CatModel`, a picklable :class:`~repro.models.base.
+MemoryModel` adapter — so user-written models work with every backend,
+the parallel engine, tracing and the CLI.
+
+Quick tour::
+
+    from repro.cat import CatModel
+
+    sc = CatModel.from_source('''
+        "my sequential consistency"
+        let com = rf | co | fr
+        acyclic po | com as sc
+    ''', name="my-sc")
+
+    from repro.core import verify
+    verify(program, sc)
+
+See ``docs/CAT.md`` for the grammar and the base-relation glossary,
+and ``src/repro/models/cat/`` for the shipped model files that are
+differentially validated against the hand-coded models.
+"""
+
+from .errors import CatError, CatEvalError, CatSyntaxError, CatTypeError
+from .lint import CatDiagnostic, lint_path, lint_source
+from .model import CatModel, load_cat_file
+from .parser import parse_cat
+
+__all__ = [
+    "CatDiagnostic",
+    "CatError",
+    "CatEvalError",
+    "CatModel",
+    "CatSyntaxError",
+    "CatTypeError",
+    "lint_path",
+    "lint_source",
+    "load_cat_file",
+    "parse_cat",
+]

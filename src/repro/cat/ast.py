@@ -1,0 +1,97 @@
+"""AST for the ``.cat`` model language.
+
+All nodes are plain frozen dataclasses at module level, so a parsed
+model — and therefore :class:`~repro.cat.model.CatModel` — pickles
+cleanly through the parallel engine.  Every node carries its source
+position for error reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Expr:
+    line: int = field(default=0, kw_only=True)
+    column: int = field(default=0, kw_only=True)
+
+
+@dataclass(frozen=True, slots=True)
+class Var(Expr):
+    """A reference to a base or ``let``-bound name."""
+
+    name: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class Bracket(Expr):
+    """``[S]`` — the identity relation restricted to the set ``S``."""
+
+    body: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True, slots=True)
+class Binary(Expr):
+    """``|  ;  &  \\``, and ``*`` as the cartesian product of sets."""
+
+    op: str = ""
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True, slots=True)
+class Postfix(Expr):
+    """``^-1`` (inverse), ``?`` (reflexive), ``+`` (transitive
+    closure), ``*`` (reflexive-transitive closure)."""
+
+    op: str = ""
+    body: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True, slots=True)
+class Binding:
+    name: str
+    body: Expr
+    line: int
+    column: int
+
+
+@dataclass(frozen=True, slots=True)
+class Let:
+    """``let [rec] x = e (and y = e)*``."""
+
+    recursive: bool
+    bindings: tuple[Binding, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Constraint:
+    """``acyclic e``, ``irreflexive e`` or ``empty e``, optionally
+    ``as name``."""
+
+    kind: str  # "acyclic" | "irreflexive" | "empty"
+    expr: Expr
+    name: str | None
+    line: int
+    column: int
+
+
+@dataclass(frozen=True, slots=True)
+class CatSpec:
+    """A parsed model file: title, statements, and ``repro:`` directives."""
+
+    title: str | None
+    statements: tuple[Let | Constraint, ...]
+    directives: dict[str, str]
+    source: str
+
+    @property
+    def constraints(self) -> tuple[Constraint, ...]:
+        return tuple(
+            s for s in self.statements if isinstance(s, Constraint)
+        )
+
+    @property
+    def lets(self) -> tuple[Let, ...]:
+        return tuple(s for s in self.statements if isinstance(s, Let))

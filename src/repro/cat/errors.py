@@ -1,0 +1,53 @@
+"""Errors raised while parsing or evaluating ``.cat`` models.
+
+Every error carries the source position (1-based line and column) when
+one is known, and renders it in the message — model files are user
+input, so "what went wrong where" is part of the contract.
+"""
+
+from __future__ import annotations
+
+
+class CatError(Exception):
+    """Base class of all ``.cat`` DSL errors."""
+
+    def __init__(
+        self,
+        message: str,
+        line: int | None = None,
+        column: int | None = None,
+        filename: str | None = None,
+    ) -> None:
+        self.bare_message = message
+        self.line = line
+        self.column = column
+        self.filename = filename
+        super().__init__(self._format())
+
+    def _format(self) -> str:
+        where = ""
+        if self.filename is not None:
+            where += self.filename
+        if self.line is not None:
+            where += f"{':' if where else 'line '}{self.line}"
+            if self.column is not None:
+                where += f":{self.column}"
+        return f"{where}: {self.bare_message}" if where else self.bare_message
+
+    def at(self, filename: str | None) -> "CatError":
+        """A copy of this error annotated with ``filename``."""
+        return type(self)(self.bare_message, self.line, self.column, filename)
+
+
+class CatSyntaxError(CatError):
+    """The source is not a well-formed cat model (lexer/parser)."""
+
+
+class CatTypeError(CatError):
+    """An operator was applied to the wrong kinds of operands
+    (e.g. sequencing two event sets, or bracketing a relation)."""
+
+
+class CatEvalError(CatError):
+    """Evaluation failed on a concrete graph (unknown name, diverging
+    recursive definition, ...)."""

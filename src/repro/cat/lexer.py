@@ -1,0 +1,132 @@
+"""Tokenizer for the ``.cat`` model language.
+
+The token vocabulary follows herd's cat files: identifiers may contain
+``-`` and ``.`` (``po-loc``, ``dmb.ld``-style names), ``(* ... *)``
+comments nest, ``//`` and ``#`` comment to end of line, and ``^-1`` is
+one token (postfix inverse).  Comments are skipped but their text is
+preserved on the token stream object — structured
+``(* repro: key=value *)`` directives ride in comments so every model
+file stays plain cat to other tools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import CatSyntaxError
+
+KEYWORDS = frozenset(
+    {"let", "rec", "and", "as", "acyclic", "irreflexive", "empty", "include"}
+)
+
+#: multi-character punctuation, longest first
+_PUNCT = ("^-1", "|", ";", "&", "\\", "*", "+", "?", "=", "(", ")", "[", "]")
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+)
+_IDENT_CONT = _IDENT_START | frozenset("0123456789-.")
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str  # "ident" | "keyword" | "string" | punctuation | "eof"
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.text!r}@{self.line}:{self.column})"
+
+
+@dataclass(frozen=True, slots=True)
+class Comment:
+    """A skipped comment, kept for directive extraction."""
+
+    text: str
+    line: int
+
+
+def tokenize(source: str) -> tuple[list[Token], list[Comment]]:
+    """Split ``source`` into tokens, returning ``(tokens, comments)``.
+
+    The token list always ends with an ``eof`` token; positions are
+    1-based.  Raises :class:`CatSyntaxError` on stray characters or
+    unterminated comments/strings.
+    """
+    tokens: list[Token] = []
+    comments: list[Comment] = []
+    i, line, col = 0, 1, 1
+    n = len(source)
+
+    def advance(text: str) -> None:
+        nonlocal line, col
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            col = len(text) - text.rfind("\n")
+        else:
+            col += len(text)
+
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            advance(ch)
+            i += 1
+            continue
+        if source.startswith("(*", i):
+            depth, j = 1, i + 2
+            while j < n and depth:
+                if source.startswith("(*", j):
+                    depth += 1
+                    j += 2
+                elif source.startswith("*)", j):
+                    depth -= 1
+                    j += 2
+                else:
+                    j += 1
+            if depth:
+                raise CatSyntaxError("unterminated comment", line, col)
+            comments.append(Comment(source[i + 2 : j - 2], line))
+            advance(source[i:j])
+            i = j
+            continue
+        if source.startswith("//", i) or ch == "#":
+            j = source.find("\n", i)
+            j = n if j < 0 else j
+            comments.append(Comment(source[i:j].lstrip("/#"), line))
+            advance(source[i:j])
+            i = j
+            continue
+        if ch == '"':
+            j = source.find('"', i + 1)
+            if j < 0:
+                raise CatSyntaxError("unterminated string", line, col)
+            tokens.append(Token("string", source[i + 1 : j], line, col))
+            advance(source[i : j + 1])
+            i = j + 1
+            continue
+        if ch in _IDENT_START:
+            j = i + 1
+            while j < n and source[j] in _IDENT_CONT:
+                j += 1
+            # identifiers may not *end* with '-' or '.' (keeps a
+            # trailing range/operator readable in errors)
+            while source[j - 1] in "-.":
+                j -= 1
+            word = source[i:j]
+            kind = "keyword" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, line, col))
+            advance(word)
+            i = j
+            continue
+        for punct in _PUNCT:
+            if source.startswith(punct, i):
+                tokens.append(Token(punct, punct, line, col))
+                advance(punct)
+                i += len(punct)
+                break
+        else:
+            raise CatSyntaxError(f"unexpected character {ch!r}", line, col)
+    tokens.append(Token("eof", "", line, col))
+    return tokens, comments

@@ -1,0 +1,197 @@
+"""Static checks for ``.cat`` model files (the ``cat-check`` command).
+
+Linting needs no execution graph: it parses the file, validates the
+directives, and walks the definitions in order doing name resolution
+and *kind* inference (every expression is statically a set or a
+relation).  Errors are things evaluation would reject on every graph;
+warnings are smells (shadowing a base name, an unused ``let``, a file
+with no constraints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .ast import Binary, Bracket, CatSpec, Constraint, Expr, Let, Postfix, Var
+from .errors import CatError
+from .eval import BASE_NAMES, BASE_RELATIONS, BASE_SETS
+from .model import _parse_directives
+from .parser import parse_cat
+
+SET, REL, UNKNOWN = "set", "relation", "unknown"
+
+
+@dataclass(frozen=True, slots=True)
+class CatDiagnostic:
+    severity: str  # "error" | "warning"
+    message: str
+    line: int | None = None
+    column: int | None = None
+
+    def format(self, filename: str | None = None) -> str:
+        where = filename or ""
+        if self.line is not None:
+            where += f":{self.line}"
+            if self.column is not None:
+                where += f":{self.column}"
+        prefix = f"{where}: " if where else ""
+        return f"{prefix}{self.severity}: {self.message}"
+
+
+class _Linter:
+    def __init__(self, spec: CatSpec) -> None:
+        self.spec = spec
+        self.diagnostics: list[CatDiagnostic] = []
+        #: names bound so far -> inferred kind
+        self.bound: dict[str, str] = {}
+        self.used: set[str] = set()
+
+    def error(self, message: str, node) -> None:
+        self.diagnostics.append(
+            CatDiagnostic("error", message, node.line, node.column)
+        )
+
+    def warn(self, message: str, node) -> None:
+        self.diagnostics.append(
+            CatDiagnostic("warning", message, node.line, node.column)
+        )
+
+    def run(self) -> list[CatDiagnostic]:
+        for statement in self.spec.statements:
+            if isinstance(statement, Let):
+                self._lint_let(statement)
+            else:
+                self._lint_constraint(statement)
+        if not self.spec.constraints:
+            self.diagnostics.append(
+                CatDiagnostic(
+                    "warning",
+                    "no constraints: every execution is allowed "
+                    "(beyond coherence)",
+                )
+            )
+        for name, (line, column) in self._definitions.items():
+            if name not in self.used:
+                self.diagnostics.append(
+                    CatDiagnostic(
+                        "warning", f"unused definition {name!r}", line, column
+                    )
+                )
+        return self.diagnostics
+
+    @property
+    def _definitions(self) -> dict[str, tuple[int, int]]:
+        out = {}
+        for let in self.spec.lets:
+            for binding in let.bindings:
+                out[binding.name] = (binding.line, binding.column)
+        return out
+
+    def _lint_let(self, let: Let) -> None:
+        if let.recursive:
+            # rec names are in scope inside the whole group, as relations
+            for binding in let.bindings:
+                self._check_shadow(binding)
+                self.bound[binding.name] = REL
+            for binding in let.bindings:
+                kind = self._kind(binding.body)
+                if kind == SET:
+                    self.error(
+                        f"recursive binding {binding.name!r} must define "
+                        "a relation, not a set",
+                        binding,
+                    )
+            return
+        for binding in let.bindings:
+            kind = self._kind(binding.body)
+            self._check_shadow(binding)
+            self.bound[binding.name] = kind
+
+    def _check_shadow(self, binding) -> None:
+        if binding.name in BASE_NAMES:
+            self.warn(
+                f"{binding.name!r} shadows a base "
+                f"{'set' if binding.name in BASE_SETS else 'relation'}",
+                binding,
+            )
+        elif binding.name in self.bound:
+            self.warn(f"{binding.name!r} rebinds an earlier definition", binding)
+
+    def _lint_constraint(self, constraint: Constraint) -> None:
+        kind = self._kind(constraint.expr)
+        if constraint.kind in ("acyclic", "irreflexive") and kind == SET:
+            self.error(
+                f"{constraint.kind} needs a relation, got a set", constraint
+            )
+
+    # -- kind inference --------------------------------------------------
+
+    def _kind(self, node: Expr) -> str:
+        if isinstance(node, Var):
+            name = node.name
+            self.used.add(name)
+            if name in self.bound:
+                return self.bound[name]
+            if name in BASE_SETS:
+                return SET
+            if name in BASE_RELATIONS:
+                return REL
+            if name in self._definitions:
+                self.error(
+                    f"{name!r} is used before its definition "
+                    "(reorder, or use 'let rec' for fixpoints)",
+                    node,
+                )
+            else:
+                self.error(f"unknown name {name!r}", node)
+            return UNKNOWN
+        if isinstance(node, Bracket):
+            if self._kind(node.body) == REL:
+                self.error("[...] needs a set, got a relation", node)
+            return REL
+        if isinstance(node, Postfix):
+            if self._kind(node.body) == SET:
+                self.error(
+                    f"postfix {node.op!r} needs a relation, got a set "
+                    "(wrap it in [brackets])",
+                    node,
+                )
+            return REL
+        if isinstance(node, Binary):
+            left = self._kind(node.left)
+            right = self._kind(node.right)
+            if node.op == ";":
+                return REL
+            if node.op == "*":
+                if REL in (left, right):
+                    self.error(
+                        "cartesian product * needs two sets, got a relation",
+                        node,
+                    )
+                return REL
+            if UNKNOWN in (left, right):
+                return UNKNOWN
+            if left != right:
+                self.error(
+                    f"{node.op!r} mixes a set and a relation "
+                    "(wrap the set in [brackets])",
+                    node,
+                )
+                return UNKNOWN
+            return left
+        return UNKNOWN  # pragma: no cover - parser emits no other nodes
+
+
+def lint_source(source: str, filename: str | None = None) -> list[CatDiagnostic]:
+    """All diagnostics for ``source``; a parse error yields exactly one."""
+    try:
+        spec = parse_cat(source, filename)
+        _parse_directives(spec, filename)
+    except CatError as exc:
+        return [CatDiagnostic("error", exc.bare_message, exc.line, exc.column)]
+    return _Linter(spec).run()
+
+
+def lint_path(path: str) -> list[CatDiagnostic]:
+    with open(path) as handle:
+        return lint_source(handle.read(), filename=path)

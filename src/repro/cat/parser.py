@@ -1,0 +1,263 @@
+"""Recursive-descent parser for the ``.cat`` model language.
+
+Grammar (binding looser to tighter, matching herd)::
+
+    model      :=  title? statement*
+    title      :=  STRING | IDENT            -- display name, first token
+    statement  :=  'let' 'rec'? binding ('and' binding)*
+                |  ('acyclic' | 'irreflexive' | 'empty') expr ('as' IDENT)?
+    binding    :=  IDENT '=' expr
+    expr       :=  union
+    union      :=  seq   ('|'  seq)*
+    seq        :=  diff  (';'  diff)*
+    diff       :=  inter ('\\' inter)*
+    inter      :=  cross ('&'  cross)*
+    cross      :=  postfix ('*' postfix)*    -- cartesian product of sets
+    postfix    :=  primary ('^-1' | '?' | '+' | '*')*
+    primary    :=  IDENT | '[' expr ']' | '(' expr ')'
+
+The one ambiguity is ``*``: it is the binary cartesian product when the
+token after it can start a primary (``W * R``), and the postfix
+reflexive-transitive closure otherwise (``(po | rf)*``).
+
+Structured comments ``(* repro: key=value ... *)`` carry evaluation
+directives (``porf_acyclic``, ``prefix``, ``name``) without leaving
+the cat comment syntax; they are collected into ``CatSpec.directives``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .ast import Binary, Binding, Bracket, CatSpec, Constraint, Expr, Let, Postfix, Var
+from .errors import CatSyntaxError
+from .lexer import Comment, Token, tokenize
+
+CONSTRAINT_KINDS = ("acyclic", "irreflexive", "empty")
+
+#: a directive comment: ``repro: key=value [key=value ...]``
+_DIRECTIVE_RE = re.compile(r"^\s*repro\s*:\s*(.*)$", re.DOTALL)
+_KV_RE = re.compile(r"([A-Za-z_][A-Za-z0-9_-]*)\s*=\s*([A-Za-z0-9_.-]+)")
+
+_PRIMARY_START = ("ident", "[", "(")
+
+
+def _directives(comments: list[Comment]) -> dict[str, str]:
+    out: dict[str, str] = {}
+    for comment in comments:
+        match = _DIRECTIVE_RE.match(comment.text.strip())
+        if match is None:
+            continue
+        body = match.group(1)
+        found = _KV_RE.findall(body)
+        leftover = _KV_RE.sub("", body).replace(",", "").strip()
+        if not found or leftover:
+            raise CatSyntaxError(
+                f"malformed repro: directive {comment.text.strip()!r} "
+                "(expected key=value pairs)",
+                comment.line,
+            )
+        for key, value in found:
+            out[key] = value
+    return out
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        tok = self.current
+        self.pos += 1
+        return tok
+
+    def expect(self, kind: str, what: str) -> Token:
+        tok = self.current
+        if tok.kind != kind:
+            shown = tok.text or tok.kind
+            raise CatSyntaxError(
+                f"expected {what}, found {shown!r}", tok.line, tok.column
+            )
+        return self.advance()
+
+    def at_keyword(self, *words: str) -> bool:
+        tok = self.current
+        return tok.kind == "keyword" and tok.text in words
+
+    # -- grammar --------------------------------------------------------
+
+    def model(self, directives: dict[str, str], source: str) -> CatSpec:
+        title = None
+        if self.current.kind == "string":
+            title = self.advance().text
+        elif self.current.kind == "ident" and self.peek().kind in (
+            "keyword",
+            "string",
+            "eof",
+        ):
+            title = self.advance().text
+        statements: list[Let | Constraint] = []
+        while self.current.kind != "eof":
+            statements.append(self.statement())
+        return CatSpec(
+            title=title,
+            statements=tuple(statements),
+            directives=directives,
+            source=source,
+        )
+
+    def statement(self) -> Let | Constraint:
+        tok = self.current
+        if self.at_keyword("let"):
+            return self.let()
+        if self.at_keyword(*CONSTRAINT_KINDS):
+            return self.constraint()
+        if self.at_keyword("include"):
+            raise CatSyntaxError(
+                "include is not supported; inline the definitions",
+                tok.line,
+                tok.column,
+            )
+        shown = tok.text or tok.kind
+        raise CatSyntaxError(
+            f"expected 'let' or a constraint, found {shown!r}",
+            tok.line,
+            tok.column,
+        )
+
+    def let(self) -> Let:
+        self.advance()  # 'let'
+        recursive = False
+        if self.at_keyword("rec"):
+            recursive = True
+            self.advance()
+        bindings = [self.binding()]
+        while self.at_keyword("and"):
+            self.advance()
+            bindings.append(self.binding())
+        return Let(recursive=recursive, bindings=tuple(bindings))
+
+    def binding(self) -> Binding:
+        name = self.expect("ident", "a name to bind")
+        self.expect("=", "'='")
+        body = self.expr()
+        return Binding(
+            name=name.text, body=body, line=name.line, column=name.column
+        )
+
+    def constraint(self) -> Constraint:
+        tok = self.advance()
+        expr = self.expr()
+        name = None
+        if self.at_keyword("as"):
+            self.advance()
+            name = self.expect("ident", "a constraint name after 'as'").text
+        return Constraint(
+            kind=tok.text, expr=expr, name=name, line=tok.line, column=tok.column
+        )
+
+    def expr(self) -> Expr:
+        return self.union()
+
+    def _binary_chain(self, op: str, sub) -> Expr:
+        left = sub()
+        while self.current.kind == op:
+            tok = self.advance()
+            right = sub()
+            left = Binary(
+                op=op, left=left, right=right, line=tok.line, column=tok.column
+            )
+        return left
+
+    def union(self) -> Expr:
+        return self._binary_chain("|", self.seq)
+
+    def seq(self) -> Expr:
+        return self._binary_chain(";", self.diff)
+
+    def diff(self) -> Expr:
+        return self._binary_chain("\\", self.inter)
+
+    def inter(self) -> Expr:
+        return self._binary_chain("&", self.cross)
+
+    def _star_is_binary(self) -> bool:
+        return (
+            self.current.kind == "*"
+            and self.peek().kind in _PRIMARY_START
+        )
+
+    def cross(self) -> Expr:
+        left = self.postfix()
+        while self._star_is_binary():
+            tok = self.advance()
+            right = self.postfix()
+            left = Binary(
+                op="*", left=left, right=right, line=tok.line, column=tok.column
+            )
+        return left
+
+    def postfix(self) -> Expr:
+        body = self.primary()
+        while True:
+            tok = self.current
+            if tok.kind in ("^-1", "?", "+"):
+                self.advance()
+                body = Postfix(
+                    op=tok.text, body=body, line=tok.line, column=tok.column
+                )
+            elif tok.kind == "*" and not self._star_is_binary():
+                self.advance()
+                body = Postfix(
+                    op="*", body=body, line=tok.line, column=tok.column
+                )
+            else:
+                return body
+
+    def primary(self) -> Expr:
+        tok = self.current
+        if tok.kind == "ident":
+            self.advance()
+            return Var(name=tok.text, line=tok.line, column=tok.column)
+        if tok.kind == "[":
+            self.advance()
+            body = self.expr()
+            self.expect("]", "']'")
+            return Bracket(body=body, line=tok.line, column=tok.column)
+        if tok.kind == "(":
+            self.advance()
+            body = self.expr()
+            self.expect(")", "')'")
+            return body
+        shown = tok.text or tok.kind
+        raise CatSyntaxError(
+            f"expected a relation or set expression, found {shown!r}",
+            tok.line,
+            tok.column,
+        )
+
+
+def parse_cat(source: str, filename: str | None = None) -> CatSpec:
+    """Parse cat ``source`` into a :class:`CatSpec`.
+
+    Raises :class:`CatSyntaxError` (annotated with ``filename`` when
+    given) on malformed input.
+    """
+    try:
+        tokens, comments = tokenize(source)
+        spec = _Parser(tokens).model(_directives(comments), source)
+    except CatSyntaxError as exc:
+        if filename is not None and exc.filename is None:
+            raise exc.at(filename) from None
+        raise
+    return spec

@@ -12,6 +12,10 @@
     hmc experiment t3                    # regenerate a table/figure
     hmc models                           # list memory models
     hmc backends                         # list exploration engines
+    hmc verify SB --model-file my.cat    # model from a .cat file
+    hmc litmus --all --model-file my.cat # the corpus under a .cat model
+    hmc compare SB --left sc --right-file my.cat
+    hmc cat-check models/*.cat           # lint .cat files
     hmc verify sb --n 3 --jobs 4         # shard over 4 worker processes
     hmc bench sb --n 3 --jobs 4          # serial-vs-parallel comparison
     hmc bench sb --backend dpor          # benchmark a baseline engine
@@ -25,6 +29,7 @@
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 
 from . import __version__
@@ -92,11 +97,45 @@ def _observer_from_args(args) -> Observer | None:
     return Observer(trace=trace, progress=reporter)
 
 
+def _first_sentence(doc: str | None) -> str:
+    """The first sentence of a docstring, whitespace-normalised."""
+    if not doc:
+        return ""
+    text = " ".join(doc.split())
+    match = re.match(r"(.*?\.)(?:\s|$)", text)
+    return match.group(1) if match else text
+
+
+def _load_cat_model(path: str):
+    """Load a ``.cat`` model file, or print the error and return None."""
+    from .cat import CatError
+    from .models import load_cat
+
+    try:
+        return load_cat(path)
+    except OSError as exc:
+        print(f"cannot read {path}: {exc}", file=sys.stderr)
+    except CatError as exc:
+        print(str(exc), file=sys.stderr)
+    return None
+
+
+def _resolve_model(args):
+    """The model to check against: `--model-file` wins over `--model`.
+
+    Returns a model name, a loaded CatModel, or None after printing
+    the load error."""
+    path = getattr(args, "model_file", None)
+    if path is None:
+        return args.model
+    return _load_cat_model(path)
+
+
 def _cmd_models(_args) -> int:
     for name in model_names():
         model = get_model(name)
         kind = "porf-acyclic" if model.porf_acyclic else "load-buffering"
-        print(f"{name:10s} ({kind})")
+        print(f"{name:10s} ({kind:13s}) {_first_sentence(model.__doc__)}")
     return 0
 
 
@@ -114,12 +153,21 @@ def _cmd_litmus(args) -> int:
     if not args.all and args.test is None:
         print("specify a litmus test name or --all", file=sys.stderr)
         return 2
+    model = _resolve_model(args)
+    if model is None:
+        return 2
     overrides = {} if args.jobs is None else {"jobs": args.jobs}
     failures = 0
     for name in names:
         test = get_litmus(name)
-        verdict = run_litmus(test, args.model, **overrides)
-        expected = allowed(name, args.model)
+        verdict = run_litmus(test, model, **overrides)
+        try:
+            expected = allowed(name, verdict.model)
+        except KeyError:
+            # a .cat model whose name has no literature row: report the
+            # verdict without judging it
+            print(f"{verdict}  [no literature expectation]")
+            continue
         status = "" if verdict.observed == expected else "  [deviates from literature]"
         print(f"{verdict}{status}")
         failures += verdict.observed != expected
@@ -156,6 +204,9 @@ def _cmd_verify(args) -> int:
     if program is None:
         print(_unknown_family(args.family), file=sys.stderr)
         return 2
+    model = _resolve_model(args)
+    if model is None:
+        return 2
     options = ExplorationOptions(
         stop_on_error=not args.keep_going,
         jobs=args.jobs,
@@ -168,7 +219,7 @@ def _cmd_verify(args) -> int:
     try:
         result = get_backend(backend_name).run(
             program,
-            args.model,
+            model,
             options,
             observer if observer is not None else NULL_OBSERVER,
         )
@@ -215,7 +266,12 @@ def _cmd_compare(args) -> int:
     if program is None:
         print(_unknown_family(args.family), file=sys.stderr)
         return 2
-    comparison = compare_models(program, args.left, args.right)
+    left = args.left if args.left_file is None else _load_cat_model(args.left_file)
+    right_file = args.right_file or args.model_file
+    right = args.right if right_file is None else _load_cat_model(right_file)
+    if left is None or right is None:
+        return 2
+    comparison = compare_models(program, left, right)
     print(comparison.summary())
     if args.witness and comparison.witnesses:
         outcome, witness = next(iter(sorted(comparison.witnesses.items())))
@@ -247,6 +303,28 @@ def _cmd_estimate(args) -> int:
 
     print(estimate_explorations(program, args.model, walks=args.walks))
     return 0
+
+
+def _cmd_cat_check(args) -> int:
+    from .cat import lint_path
+
+    error_count = 0
+    for path in args.paths:
+        try:
+            diagnostics = lint_path(path)
+        except OSError as exc:
+            print(f"cannot read {path}: {exc}", file=sys.stderr)
+            error_count += 1
+            continue
+        for diag in diagnostics:
+            print(diag.format(path))
+        errors_here = sum(d.severity == "error" for d in diagnostics)
+        error_count += errors_here
+        if not errors_here:
+            warnings = len(diagnostics) - errors_here
+            suffix = f" ({warnings} warning(s))" if warnings else ""
+            print(f"{path}: ok{suffix}")
+    return 1 if error_count else 0
 
 
 def _cmd_trace_summary(args) -> int:
@@ -302,10 +380,16 @@ def build_parser() -> argparse.ArgumentParser:
         "hung and retried (default: no timeout; see docs/PARALLEL.md)"
     )
 
+    model_file_help = (
+        "load the model from a declarative .cat file instead of --model "
+        "(see docs/CAT.md)"
+    )
+
     litmus = sub.add_parser("litmus", help="run litmus tests")
     litmus.add_argument("test", nargs="?", help="litmus test name (see repro.litmus)")
     litmus.add_argument("--all", action="store_true", help="run the whole corpus")
     litmus.add_argument("--model", default="sc", choices=model_names())
+    litmus.add_argument("--model-file", metavar="PATH", help=model_file_help)
     litmus.add_argument("--jobs", type=int, default=None, help=jobs_help)
 
     bench = sub.add_parser("bench", help="run one benchmark workload")
@@ -327,6 +411,7 @@ def build_parser() -> argparse.ArgumentParser:
     verify_p.add_argument("family", help="workload family or litmus test name")
     verify_p.add_argument("--n", type=int, default=2)
     verify_p.add_argument("--model", default="sc", choices=model_names())
+    verify_p.add_argument("--model-file", metavar="PATH", help=model_file_help)
     verify_p.add_argument("--jobs", type=int, default=None, help=jobs_help)
     verify_p.add_argument(
         "--task-timeout", type=float, default=None, help=task_timeout_help
@@ -374,6 +459,17 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--n", type=int, default=2)
     compare.add_argument("--left", default="sc", choices=model_names())
     compare.add_argument("--right", default="tso", choices=model_names())
+    compare.add_argument(
+        "--left-file", metavar="PATH", help="left model from a .cat file"
+    )
+    compare.add_argument(
+        "--right-file", metavar="PATH", help="right model from a .cat file"
+    )
+    compare.add_argument(
+        "--model-file",
+        metavar="PATH",
+        help="alias for --right-file (matches verify/litmus)",
+    )
     compare.add_argument("--witness", action="store_true")
 
     repair = sub.add_parser("repair", help="synthesise fences to fix a workload")
@@ -394,6 +490,13 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--n", type=int, default=2)
     estimate.add_argument("--model", default="sc", choices=model_names())
     estimate.add_argument("--walks", type=int, default=50)
+
+    cat_check = sub.add_parser(
+        "cat-check", help="lint declarative .cat model files"
+    )
+    cat_check.add_argument(
+        "paths", nargs="+", metavar="FILE", help=".cat files to lint"
+    )
 
     trace_summary = sub.add_parser(
         "trace-summary",
@@ -418,6 +521,7 @@ _COMMANDS = {
     "repair": _cmd_repair,
     "estimate": _cmd_estimate,
     "experiment": _cmd_experiment,
+    "cat-check": _cmd_cat_check,
     "trace-summary": _cmd_trace_summary,
 }
 

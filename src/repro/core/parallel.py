@@ -75,10 +75,31 @@ from .explorer import Explorer, _SearchLimit, effective_jobs
 from .result import VerificationResult, merge_phase_times
 
 #: a pickled unit of work: (task index, attempt number, program, model
-#: name, options, subtree prefix graph, worker trace path or None)
+#: spec, options, subtree prefix graph, worker trace path or None).
+#: The model spec is the registry name for registered models, and the
+#: pickled model object itself otherwise (e.g. a CatModel loaded from
+#: a ``.cat`` file) — workers hand either form to the Explorer.
 SubtreeTask = tuple[
-    int, int, Program, str, ExplorationOptions, ExecutionGraph, "str | None"
+    int,
+    int,
+    Program,
+    "str | MemoryModel",
+    ExplorationOptions,
+    ExecutionGraph,
+    "str | None",
 ]
+
+
+def _model_spec(model: MemoryModel) -> "str | MemoryModel":
+    """What to ship to workers for ``model``: its name when the
+    registry resolves that name back to this very model (cheap, and
+    robust under any multiprocessing start method), else the model
+    object itself, which must then be picklable (CatModel is)."""
+    try:
+        registered = get_model(model.name)
+    except KeyError:
+        return model
+    return model.name if registered is model else model
 
 #: test-only fault injection hook (see ``_maybe_inject_fault``)
 FAULT_ENV = "REPRO_FAULT_INJECT"
@@ -261,7 +282,7 @@ def _maybe_inject_fault(index: int, attempt: int) -> None:
 
 def _run_subtree(task: SubtreeTask) -> tuple[int, int, VerificationResult]:
     """Worker entry point: explore one subtree prefix to exhaustion."""
-    index, attempt, program, model_name, options, prefix, trace_path = task
+    index, attempt, program, model_spec, options, prefix, trace_path = task
     _maybe_inject_fault(index, attempt)
     observer = NULL_OBSERVER
     if trace_path is not None:
@@ -269,7 +290,7 @@ def _run_subtree(task: SubtreeTask) -> tuple[int, int, VerificationResult]:
     try:
         result = Explorer(
             program,
-            model_name,
+            model_spec,
             options,
             observer=observer,
             root=prefix,
@@ -363,11 +384,11 @@ class _Supervisor:
     the caller for serial re-exploration in the coordinator.
     """
 
-    def __init__(self, ctx, jobs, program, model_name, options, trace_base, budget, observer):
+    def __init__(self, ctx, jobs, program, model_spec, options, trace_base, budget, observer):
         self.ctx = ctx
         self.jobs = jobs
         self.program = program
-        self.model_name = model_name
+        self.model_spec = model_spec
         self.options = options
         self.trace_base = trace_base
         self.budget = budget
@@ -411,7 +432,7 @@ class _Supervisor:
             state.index,
             attempt,
             self.program,
-            self.model_name,
+            self.model_spec,
             self.options,
             state.prefix,
             _trace_path(self.trace_base, state.index, attempt),
@@ -646,7 +667,7 @@ def verify_parallel(
         if obs.trace_enabled:
             obs.emit("parallel_dispatch", tasks=len(frontier), jobs=jobs)
         supervisor = _Supervisor(
-            ctx, jobs, program, model.name, worker_options,
+            ctx, jobs, program, _model_spec(model), worker_options,
             trace_base, budget, obs,
         )
         supervisor.run(frontier)

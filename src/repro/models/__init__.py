@@ -10,7 +10,15 @@ from .power import Power
 from .pso import PSO
 from .ra import ReleaseAcquire
 from .rc11 import RC11
-from .registry import all_models, get_model, model_names
+from .registry import (
+    all_models,
+    get_model,
+    load_cat,
+    model_names,
+    register,
+    register_file,
+    unregister,
+)
 from .sc import SequentialConsistency
 from .tso import TSO
 
@@ -29,5 +37,9 @@ __all__ = [
     "TSO",
     "all_models",
     "get_model",
+    "load_cat",
     "model_names",
+    "register",
+    "register_file",
+    "unregister",
 ]

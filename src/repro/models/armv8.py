@@ -46,6 +46,8 @@ def _stlr_ldar(graph: ExecutionGraph) -> Relation:
 
 
 class ARMv8(MemoryModel):
+    """ARMv8 (AArch64): the declarative other-multi-copy-atomic model with DMB fences and release/acquire accesses."""
+
     name = "armv8"
     porf_acyclic = False
 

@@ -15,12 +15,15 @@ the program.
 
 from __future__ import annotations
 
-from ..events import Event, ReadLabel, WriteLabel
+from ..events import Event
 from ..graphs import ExecutionGraph
 from .base import MemoryModel
+from .common import minimal_prefix_preds
 
 
 class CoherenceOnly(MemoryModel):
+    """Coherence only: no global axiom beyond per-location SC and RMW atomicity — the weakest model here."""
+
     name = "coherence"
     porf_acyclic = False
 
@@ -28,19 +31,4 @@ class CoherenceOnly(MemoryModel):
         return True
 
     def prefix_preds(self, graph: ExecutionGraph, ev: Event) -> list[Event]:
-        preds: list[Event] = []
-        lab = graph.label(ev)
-        if isinstance(lab, ReadLabel):
-            src = graph.rf(ev)
-            if not src.is_initial:
-                preds.append(src)
-        if isinstance(lab, WriteLabel) and lab.exclusive:
-            partner = graph.exclusive_pair(ev)
-            if partner is not None:
-                preds.append(partner)
-        if not ev.is_initial and lab.is_access:
-            for p in graph.thread_events(ev.tid)[: ev.index]:
-                plab = graph.label(p)
-                if plab.is_access and plab.location == lab.location:
-                    preds.append(p)
-        return preds
+        return minimal_prefix_preds(graph, ev)

@@ -159,6 +159,33 @@ def ppo_dependencies(graph: ExecutionGraph) -> Relation:
     return base.transitive_closure()
 
 
+def minimal_prefix_preds(graph: ExecutionGraph, ev: Event) -> list[Event]:
+    """One-step causal predecessors under a coherence-only model.
+
+    The weakest sound prefix: reads-from sources, RMW pairing, and
+    same-location program order — nothing else, so revisits across
+    dependencies and fences stay possible (see
+    :class:`repro.models.coherence.CoherenceOnly`, whose notion this
+    is; declarative models select it with ``prefix=minimal``).
+    """
+    preds: list[Event] = []
+    lab = graph.label(ev)
+    if isinstance(lab, ReadLabel):
+        src = graph.rf(ev)
+        if not src.is_initial:
+            preds.append(src)
+    if isinstance(lab, WriteLabel) and lab.exclusive:
+        partner = graph.exclusive_pair(ev)
+        if partner is not None:
+            preds.append(partner)
+    if not ev.is_initial and lab.is_access:
+        for p in graph.thread_events(ev.tid)[: ev.index]:
+            plab = graph.label(p)
+            if plab.is_access and plab.location == lab.location:
+                preds.append(p)
+    return preds
+
+
 def hardware_prefix_preds(
     graph: ExecutionGraph, ev: Event, annotations: bool = True
 ) -> list[Event]:

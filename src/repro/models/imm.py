@@ -33,6 +33,8 @@ from .ra import hb_coherent
 
 
 class IMM(MemoryModel):
+    """IMM: the intermediate model between C11-style languages and hardware, allowing load buffering via dependencies."""
+
     name = "imm"
     porf_acyclic = False
 

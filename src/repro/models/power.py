@@ -46,6 +46,8 @@ def _sync_ordered(graph: ExecutionGraph) -> Relation:
 
 
 class Power(MemoryModel):
+    """IBM POWER: non-multi-copy-atomic propagation with sync/lwsync/isync fences and dependency ordering."""
+
     name = "power"
     porf_acyclic = False
 

@@ -29,6 +29,8 @@ def _relaxed(graph: ExecutionGraph, a: Event, b: Event) -> bool:
 
 
 class PSO(MemoryModel):
+    """SPARC PSO: per-location store buffers, so writes to different locations may reorder too."""
+
     name = "pso"
     porf_acyclic = True
 

@@ -21,6 +21,8 @@ def hb_coherent(hb: Relation, eco_rel: Relation) -> bool:
 
 
 class ReleaseAcquire(MemoryModel):
+    """Release/acquire (the SRA fragment of C11): hb = (po | rf)+ acyclic and coherent, with an SC-fence axiom."""
+
     name = "ra"
     porf_acyclic = True
 

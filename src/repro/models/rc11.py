@@ -19,6 +19,8 @@ from .ra import hb_coherent
 
 
 class RC11(MemoryModel):
+    """RC11: the repaired C11 model with per-access modes, SC fences, and porf acyclicity (no load buffering)."""
+
     name = "rc11"
     porf_acyclic = True
 

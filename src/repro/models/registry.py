@@ -1,4 +1,17 @@
-"""Model registry: look models up by name."""
+"""Model registry: look models up by name.
+
+Besides the nine built-in models, the registry accepts declarative
+models loaded from ``.cat`` files (:mod:`repro.cat`):
+
+* :func:`load_cat` parses a file into a
+  :class:`~repro.cat.model.CatModel` without registering it — the CLI's
+  ``--model-file`` path;
+* :func:`register_file` loads *and* registers, after which the model
+  resolves by name everywhere a built-in does.
+
+Lookups are case-insensitive regardless of how the model spelled its
+name, and a miss lists every registered name.
+"""
 
 from __future__ import annotations
 
@@ -13,14 +26,28 @@ from .rc11 import RC11
 from .sc import SequentialConsistency
 from .tso import TSO
 
+#: keys are lowercased model names; the model keeps its display name
 _MODELS: dict[str, MemoryModel] = {}
 
 
-def register(model: MemoryModel) -> MemoryModel:
-    if model.name in _MODELS:
-        raise ValueError(f"duplicate model name {model.name!r}")
-    _MODELS[model.name] = model
+def register(model: MemoryModel, replace: bool = False) -> MemoryModel:
+    """Add ``model`` under its (case-folded) name.
+
+    Raises :class:`ValueError` on a duplicate name unless ``replace``.
+    """
+    key = model.name.lower()
+    if key in _MODELS and not replace:
+        raise ValueError(
+            f"duplicate model name {model.name!r} "
+            "(pass replace=True to overwrite)"
+        )
+    _MODELS[key] = model
     return model
+
+
+def unregister(name: str) -> None:
+    """Remove a registered model; a no-op when absent."""
+    _MODELS.pop(name.strip().lower(), None)
 
 
 for _m in (
@@ -38,12 +65,21 @@ for _m in (
 
 
 def get_model(name: str) -> MemoryModel:
-    """Look a memory model up by its short name (e.g. ``"tso"``)."""
+    """Look a memory model up by its short name (e.g. ``"tso"``).
+
+    Lookups are case-insensitive and ignore surrounding whitespace;
+    an unknown name raises :class:`KeyError` listing every registered
+    model.
+    """
     try:
-        return _MODELS[name.lower()]
+        return _MODELS[name.strip().lower()]
     except KeyError:
         known = ", ".join(sorted(_MODELS))
         raise KeyError(f"unknown memory model {name!r}; known: {known}") from None
+    except AttributeError:
+        raise TypeError(
+            f"model name must be a string, got {type(name).__name__}"
+        ) from None
 
 
 def model_names() -> list[str]:
@@ -52,3 +88,28 @@ def model_names() -> list[str]:
 
 def all_models() -> list[MemoryModel]:
     return [_MODELS[n] for n in model_names()]
+
+
+# -- declarative (.cat) models ------------------------------------------------
+
+
+def load_cat(path: str, name: str | None = None):
+    """Parse a ``.cat`` file into a :class:`~repro.cat.model.CatModel`
+    without registering it.
+
+    The model's name defaults to the file's ``(* repro: name=... *)``
+    directive, then the file stem.
+    """
+    from ..cat import load_cat_file
+
+    return load_cat_file(path, name=name)
+
+
+def register_file(path: str, name: str | None = None, replace: bool = False):
+    """Load a ``.cat`` file and register the resulting model.
+
+    Returns the registered :class:`~repro.cat.model.CatModel`; after
+    this, :func:`get_model` resolves it by name like any built-in.
+    """
+    model = load_cat(path, name=name)
+    return register(model, replace=replace)

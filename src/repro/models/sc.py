@@ -14,6 +14,8 @@ from .base import MemoryModel
 
 
 class SequentialConsistency(MemoryModel):
+    """Sequential consistency: a single total order over all accesses, consistent with po and rf."""
+
     name = "sc"
     porf_acyclic = True
 

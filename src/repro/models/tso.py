@@ -51,6 +51,8 @@ def _exclusive_flush(graph: ExecutionGraph) -> Relation:
 
 
 class TSO(MemoryModel):
+    """x86-TSO: store buffering only — writes may pass later reads, everything else stays ordered."""
+
     name = "tso"
     porf_acyclic = True
 

@@ -1,0 +1,346 @@
+"""Unit tests for the repro.cat DSL: lexer, parser, evaluator,
+CatModel adapter, linter, and registry integration."""
+
+import pickle
+
+import pytest
+
+from repro.cat import (
+    CatError,
+    CatEvalError,
+    CatModel,
+    CatSyntaxError,
+    CatTypeError,
+    lint_source,
+    load_cat_file,
+    parse_cat,
+)
+from repro.cat.ast import Binary, Postfix, Var
+from repro.cat.eval import Env
+from repro.cat.lexer import tokenize
+from repro.core import verify
+from repro.litmus import get_litmus, run_litmus
+from repro.models import get_model, register_file, unregister
+from repro.relations import Relation
+
+SC_SOURCE = '"plain SC"\nlet com = rf | co | fr\nacyclic po | com as sc\n'
+
+
+def graphs_of(name="SB", model="coherence"):
+    """All consistent execution graphs of a litmus test."""
+    result = verify(
+        get_litmus(name).program,
+        model,
+        stop_on_error=False,
+        collect_executions=True,
+    )
+    assert result.execution_graphs
+    return result.execution_graphs
+
+
+# -- lexer ----------------------------------------------------------------
+
+
+class TestLexer:
+    def test_tokens_and_positions(self):
+        tokens, _ = tokenize("let x = po ; rf")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["keyword", "ident", "=", "ident", ";", "ident", "eof"]
+        assert tokens[0].line == 1 and tokens[0].column == 1
+        assert tokens[3].text == "po"
+
+    def test_nested_comments_preserved(self):
+        tokens, comments = tokenize("(* a (* nested *) b *) po")
+        assert [t.kind for t in tokens] == ["ident", "eof"]
+        assert "nested" in comments[0].text
+
+    def test_line_comments(self):
+        tokens, _ = tokenize("po // trailing\n# full line\nrf")
+        assert [t.text for t in tokens if t.kind == "ident"] == ["po", "rf"]
+
+    def test_inverse_operator(self):
+        tokens, _ = tokenize("rf^-1")
+        assert [t.kind for t in tokens] == ["ident", "^-1", "eof"]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(CatSyntaxError):
+            tokenize("(* never closed")
+
+
+# -- parser ---------------------------------------------------------------
+
+
+class TestParser:
+    def test_title_and_directives(self):
+        spec = parse_cat('"My model"\n(* repro: name=m porf_acyclic=false *)\nacyclic po as x\n')
+        assert spec.title == "My model"
+        assert spec.directives == {"name": "m", "porf_acyclic": "false"}
+
+    def test_union_binds_loosest(self):
+        spec = parse_cat("acyclic a | b ; c as t")
+        expr = spec.constraints[0].expr
+        assert isinstance(expr, Binary) and expr.op == "|"
+        assert isinstance(expr.right, Binary) and expr.right.op == ";"
+
+    def test_difference_between_seq_and_inter(self):
+        # \ binds tighter than ; and looser than &
+        spec = parse_cat("acyclic a ; b \\ c & d as t")
+        expr = spec.constraints[0].expr
+        assert expr.op == ";"
+        assert expr.right.op == "\\"
+        assert expr.right.right.op == "&"
+
+    def test_postfix_tightest(self):
+        spec = parse_cat("acyclic po | rf+ as t")
+        expr = spec.constraints[0].expr
+        assert expr.op == "|"
+        assert isinstance(expr.right, Postfix) and expr.right.op == "+"
+
+    def test_star_binary_vs_postfix(self):
+        # `W * R` is cartesian; trailing `rf*` is a closure
+        binary = parse_cat("acyclic W * R as t").constraints[0].expr
+        assert isinstance(binary, Binary) and binary.op == "*"
+        postfix = parse_cat("acyclic rf* as t").constraints[0].expr
+        assert isinstance(postfix, Postfix) and postfix.op == "*"
+
+    def test_let_rec_and_groups(self):
+        spec = parse_cat("let rec a = po | (a ; a) and b = a\nacyclic b as t")
+        let = spec.lets[0]
+        assert let.recursive
+        assert [binding.name for binding in let.bindings] == ["a", "b"]
+
+    def test_error_position(self):
+        with pytest.raises(CatSyntaxError) as err:
+            parse_cat("let x =\nacyclic po as t")
+        assert err.value.line == 2
+
+    def test_include_unsupported(self):
+        with pytest.raises(CatSyntaxError, match="include"):
+            parse_cat('include "sc.cat"')
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(CatSyntaxError, match="frobnicate"):
+            CatModel.from_source("(* repro: frobnicate=1 *)\nacyclic po as t")
+
+
+# -- evaluator ------------------------------------------------------------
+
+
+class TestEval:
+    def eval_str(self, graph, text):
+        spec = parse_cat(f"acyclic {text} as probe")
+        return Env(graph, spec).eval(spec.constraints[0].expr)
+
+    def test_base_relations_match_derived(self):
+        from repro.graphs.derived import po, rf
+
+        for graph in graphs_of():
+            assert self.eval_str(graph, "po") == po(graph)
+            assert self.eval_str(graph, "rf") == rf(graph)
+
+    def test_rf_within_write_read_product(self):
+        for graph in graphs_of():
+            rf_rel = self.eval_str(graph, "rf")
+            wr = self.eval_str(graph, "W * R")
+            assert set(rf_rel.pairs()) <= set(wr.pairs())
+
+    def test_bracket_equals_set_lift(self):
+        for graph in graphs_of():
+            assert self.eval_str(graph, "[W] ; po") == self.eval_str(
+                graph, "W ; po"
+            )
+
+    def test_inverse_and_optional(self):
+        graph = graphs_of()[0]
+        rf_rel = self.eval_str(graph, "rf")
+        assert self.eval_str(graph, "rf^-1") == rf_rel.inverse()
+        opt = self.eval_str(graph, "rf?")
+        assert opt == rf_rel | Relation.identity(graph.events())
+
+    def test_fixpoint_rec_equals_closure(self):
+        graph = graphs_of()[0]
+        spec = parse_cat(
+            "let rec hb = po | rf | (hb ; hb)\nacyclic hb as t"
+        )
+        env = Env(graph, spec)
+        direct = self.eval_str(graph, "(po | rf)+")
+        assert env.eval(spec.constraints[0].expr) == direct
+
+    def test_self_reference_without_rec(self):
+        graph = graphs_of()[0]
+        spec = parse_cat("let x = x | po\nacyclic x as t")
+        with pytest.raises(CatEvalError, match="let rec"):
+            Env(graph, spec).eval(spec.constraints[0].expr)
+
+    def test_type_errors(self):
+        graph = graphs_of()[0]
+        for bad in ("po | W", "[po]", "W+", "rf * po", "R & po"):
+            with pytest.raises(CatTypeError):
+                self.eval_str(graph, bad)
+
+    def test_unknown_name_lists_known(self):
+        graph = graphs_of()[0]
+        with pytest.raises(CatEvalError, match="known names"):
+            self.eval_str(graph, "nonsense")
+
+    def test_empty_constraint_on_set_and_relation(self):
+        graph = graphs_of()[0]
+        spec = parse_cat("empty MFENCE as no-fences\nempty rmw as no-rmw")
+        env = Env(graph, spec)
+        assert env.check(spec.constraints[0])
+        assert env.check(spec.constraints[1])
+
+
+# -- CatModel -------------------------------------------------------------
+
+
+class TestCatModel:
+    def test_from_source_runs_litmus(self):
+        model = CatModel.from_source(SC_SOURCE, name="my-sc")
+        verdict = run_litmus(get_litmus("SB"), model)
+        reference = run_litmus(get_litmus("SB"), "sc")
+        assert verdict.observed == reference.observed
+        assert verdict.executions == reference.executions
+
+    def test_defaults(self):
+        model = CatModel.from_source("acyclic po as t")
+        assert model.name == "cat"
+        assert model.porf_acyclic is True
+        assert model.prefix_mode == "porf"
+
+    def test_porf_false_defaults_hardware_prefix(self):
+        model = CatModel.from_source(
+            "(* repro: porf_acyclic=false *)\nacyclic po-loc as t"
+        )
+        assert model.prefix_mode == "hardware"
+
+    def test_bad_prefix_mode(self):
+        with pytest.raises(CatSyntaxError, match="prefix"):
+            CatModel.from_source("(* repro: prefix=sideways *)\nacyclic po as t")
+
+    def test_pickle_roundtrip(self):
+        model = CatModel.from_source(SC_SOURCE, name="my-sc")
+        clone = pickle.loads(pickle.dumps(model))
+        assert clone.name == "my-sc"
+        assert clone.porf_acyclic == model.porf_acyclic
+        before = run_litmus(get_litmus("MP"), model)
+        after = run_litmus(get_litmus("MP"), clone)
+        assert before.observed == after.observed
+        assert before.executions == after.executions
+
+    def test_failed_constraints_named(self):
+        model = CatModel.from_source(SC_SOURCE, name="sc-twin")
+        result = verify(
+            get_litmus("SB").program,
+            "tso",
+            stop_on_error=False,
+            collect_executions=True,
+        )
+        failing = [
+            g for g in result.execution_graphs if not model.axiom_holds(g)
+        ]
+        assert failing  # SB's store-buffering graph violates SC
+        assert model.failed_constraints(failing[0]) == ["sc"]
+
+    def test_env_memoised_per_version(self):
+        model = CatModel.from_source(SC_SOURCE)
+        graph = graphs_of()[0]
+        assert model.env(graph) is model.env(graph)
+
+
+class TestLoadFile:
+    def test_name_precedence(self, tmp_path):
+        path = tmp_path / "weird-stem.cat"
+        path.write_text("(* repro: name=directive *)\nacyclic po as t\n")
+        assert load_cat_file(str(path)).name == "directive"
+        assert load_cat_file(str(path), name="arg").name == "arg"
+        path.write_text("acyclic po as t\n")
+        assert load_cat_file(str(path)).name == "weird-stem"
+
+    def test_load_rejects_lint_errors(self, tmp_path):
+        path = tmp_path / "bad.cat"
+        path.write_text("let x = bogus\nacyclic x as t\n")
+        with pytest.raises(CatError) as err:
+            load_cat_file(str(path))
+        assert "bogus" in str(err.value)
+        assert str(path) in str(err.value)
+
+    def test_missing_file_is_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load_cat_file(str(tmp_path / "absent.cat"))
+
+
+# -- linter ---------------------------------------------------------------
+
+
+class TestLint:
+    def errors(self, source):
+        return [d for d in lint_source(source) if d.severity == "error"]
+
+    def warnings(self, source):
+        return [d for d in lint_source(source) if d.severity == "warning"]
+
+    def test_clean_file(self):
+        assert lint_source(SC_SOURCE) == []
+
+    def test_unknown_name(self):
+        (diag,) = self.errors("acyclic wibble as t")
+        assert "wibble" in diag.message and diag.line == 1
+
+    def test_use_before_definition_suggests_rec(self):
+        diags = self.errors("let a = b\nlet b = po\nacyclic a | b as t")
+        assert any("let rec" in d.message for d in diags)
+
+    def test_kind_mismatch(self):
+        assert self.errors("acyclic W as t")
+        assert self.errors("acyclic po | W as t")
+        assert self.errors("acyclic [rf] as t")
+
+    def test_warnings(self):
+        assert any(
+            "shadows" in d.message for d in self.warnings("let po = rf\nacyclic po as t")
+        )
+        assert any(
+            "no constraints" in d.message for d in self.warnings("let a = po")
+        )
+        assert any(
+            "unused" in d.message
+            for d in self.warnings("let a = po\nacyclic rf as t")
+        )
+
+    def test_parse_error_is_single_diagnostic(self):
+        diags = lint_source("let = po")
+        assert len(diags) == 1 and diags[0].severity == "error"
+
+
+# -- registry -------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_case_insensitive_lookup(self):
+        assert get_model("TSO") is get_model("tso")
+        assert get_model("  Sc ") is get_model("sc")
+
+    def test_keyerror_lists_names(self):
+        with pytest.raises(KeyError) as err:
+            get_model("alpha21264")
+        message = str(err.value)
+        assert "sc" in message and "tso" in message
+
+    def test_non_string_name(self):
+        with pytest.raises(TypeError):
+            get_model(42)
+
+    def test_register_file_roundtrip(self, tmp_path):
+        path = tmp_path / "mine.cat"
+        path.write_text('"mine"\n(* repro: name=mine-sc *)\n' + SC_SOURCE.split("\n", 1)[1])
+        try:
+            model = register_file(str(path))
+            assert get_model("MINE-SC") is model
+            with pytest.raises(ValueError, match="duplicate"):
+                register_file(str(path))
+            register_file(str(path), replace=True)
+        finally:
+            unregister("mine-sc")
+        with pytest.raises(KeyError):
+            get_model("mine-sc")

@@ -66,3 +66,86 @@ class TestExperiment:
 def test_missing_command_exits():
     with pytest.raises(SystemExit):
         main([])
+
+
+SC_CAT = '"tiny sc"\nlet com = rf | co | fr\nacyclic po | com as sc\n'
+
+
+@pytest.fixture
+def sc_cat(tmp_path):
+    path = tmp_path / "tiny-sc.cat"
+    path.write_text(SC_CAT)
+    return str(path)
+
+
+class TestModelsListing:
+    def test_shows_docstring_sentence(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "Sequential consistency" in out
+        assert "store buffering" in out.lower()
+
+
+class TestModelFile:
+    def test_verify_with_cat_file(self, sc_cat, capsys):
+        assert main(["verify", "SB", "--model-file", sc_cat]) == 0
+        out = capsys.readouterr().out
+        assert "model     : tiny-sc" in out  # name defaults to the stem
+        assert "executions: 3" in out  # SC forbids the SB relaxation
+
+    def test_litmus_with_cat_file(self, sc_cat, capsys):
+        assert main(["litmus", "SB", "--model-file", sc_cat]) == 0
+        assert "forbidden" in capsys.readouterr().out
+
+    def test_litmus_without_literature_row(self, sc_cat, tmp_path, capsys):
+        path = tmp_path / "custom.cat"
+        path.write_text("(* repro: name=house-model *)\n" + SC_CAT)
+        assert main(["litmus", "SB", "--model-file", str(path)]) == 0
+        assert "no literature expectation" in capsys.readouterr().out
+
+    def test_compare_right_file(self, sc_cat, capsys):
+        assert main(
+            ["compare", "SB", "--left", "sc", "--right-file", sc_cat]
+        ) == 0
+        assert "equivalent" in capsys.readouterr().out
+
+    def test_broken_file_is_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.cat"
+        path.write_text("let x = bogus\nacyclic x as t\n")
+        assert main(["verify", "SB", "--model-file", str(path)]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_missing_file_is_usage_error(self, tmp_path, capsys):
+        assert (
+            main(["verify", "SB", "--model-file", str(tmp_path / "no.cat")])
+            == 2
+        )
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestCatCheck:
+    def test_clean_file(self, sc_cat, capsys):
+        assert main(["cat-check", sc_cat]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_error_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "bad.cat"
+        path.write_text("acyclic wibble as t\n")
+        assert main(["cat-check", path.as_posix()]) == 1
+        assert "unknown name" in capsys.readouterr().out
+
+    def test_warning_keeps_exit_zero(self, tmp_path, capsys):
+        path = tmp_path / "warn.cat"
+        path.write_text("let unused = po\nacyclic rf as t\n")
+        assert main(["cat-check", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "warning" in out and "ok" in out
+
+    def test_shipped_models_are_clean(self, capsys):
+        import repro.models
+        from pathlib import Path
+
+        cat_dir = Path(repro.models.__file__).parent / "cat"
+        paths = [str(p) for p in sorted(cat_dir.glob("*.cat"))]
+        assert paths
+        assert main(["cat-check", *paths]) == 0

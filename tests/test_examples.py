@@ -57,6 +57,13 @@ def test_litmus_tour():
 
 
 @pytest.mark.slow
+def test_custom_model():
+    out = run_example("custom_model.py")
+    assert "broken-tso: allowed" in out
+    assert "tso: forbidden" in out  # real TSO forbids SB+fences
+    assert "jobs=2" in out
+
+
 def test_lock_verification():
     out = run_example("lock_verification.py", timeout=400)
     assert "BROKEN" in out and "SAFE" in out

@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.relations import Relation, seq, union
+from repro.relations import Relation, bracket, optional, seq, union
 
 nodes = st.integers(min_value=0, max_value=7)
 pairs = st.tuples(nodes, nodes)
@@ -71,3 +71,92 @@ def test_acyclic_subrelation_of_total_order(rel):
 def test_topological_sort_respects_order(ordered):
     rel = Relation.total_order(ordered)
     assert rel.topological_sort(list(reversed(ordered))) == ordered
+
+
+# -- fixpoint (r+ / r*) edge cases ---------------------------------------
+
+
+def test_closure_of_empty_is_empty():
+    assert Relation().transitive_closure() == Relation()
+    assert Relation().is_acyclic()
+
+
+def test_rtc_of_empty_is_identity():
+    universe = range(4)
+    rtc = Relation().reflexive_transitive_closure(universe)
+    assert rtc == Relation.identity(universe)
+
+
+def test_self_loop_is_cyclic_but_closure_stable():
+    loop = Relation([(1, 1)])
+    assert not loop.is_acyclic()
+    assert not loop.is_irreflexive()
+    assert loop.transitive_closure() == loop
+
+
+def test_two_cycle_closure_saturates():
+    cycle = Relation([(0, 1), (1, 0)])
+    closed = cycle.transitive_closure()
+    assert closed == Relation([(0, 1), (1, 0), (0, 0), (1, 1)])
+    assert not cycle.is_acyclic()
+
+
+@given(relations)
+def test_rtc_equals_closure_plus_identity(rel):
+    universe = rel.nodes() | {99}
+    rtc = rel.reflexive_transitive_closure(universe)
+    assert rtc == (rel.transitive_closure() | Relation.identity(universe))
+
+
+@given(relations)
+def test_closure_grows_monotonically(rel):
+    closed = rel.transitive_closure()
+    assert set(rel.pairs()) <= set(closed.pairs())
+    assert (closed | closed.compose(closed)) == closed  # fixpoint reached
+
+
+# -- inverse / composition identities ------------------------------------
+
+
+@given(relations)
+def test_inverse_preserves_acyclicity(rel):
+    assert rel.is_acyclic() == rel.inverse().is_acyclic()
+
+
+@given(relations)
+def test_compose_with_identity_is_noop(rel):
+    ident = Relation.identity(rel.nodes())
+    assert seq(ident, rel) == rel
+    assert seq(rel, ident) == rel
+
+
+@given(relations)
+def test_compose_with_empty_is_empty(rel):
+    empty = Relation()
+    assert seq(rel, empty) == empty
+    assert seq(empty, rel) == empty
+
+
+@given(st.sets(nodes, max_size=8))
+def test_bracket_is_idempotent_under_compose(s):
+    b = bracket(s)
+    assert seq(b, b) == b
+
+
+@given(relations)
+def test_optional_adds_exactly_identity(rel):
+    universe = rel.nodes() | {42}
+    assert optional(rel, universe) == (rel | Relation.identity(universe))
+
+
+@given(relations, relations)
+def test_inverse_distributes_over_union(a, b):
+    assert (a | b).inverse() == (a.inverse() | b.inverse())
+
+
+@given(relations, relations)
+def test_intersection_bounded_by_operands(a, b):
+    inter = a & b
+    assert set(inter.pairs()) <= set(a.pairs())
+    assert set(inter.pairs()) <= set(b.pairs())
+    assert (a - b) | inter == a
