@@ -169,11 +169,23 @@ _FIXPOINT_SLACK = 2
 
 
 class Env:
-    """One graph's evaluation environment, with memoised results."""
+    """One graph's evaluation environment, with memoised results.
 
-    def __init__(self, graph: ExecutionGraph, spec: CatSpec) -> None:
+    ``profiler`` (a :class:`~repro.obs.metrics.MetricsRegistry`, or
+    None) attributes the evaluator's memo behaviour: every name lookup
+    bumps ``cat:memo_hit:<name>`` or ``cat:memo_miss:<name>``, and each
+    ``let rec`` solve records its convergence rounds in the
+    ``cat:fixpoint_iters:<names>`` histogram — the decomposition that
+    lets ``.cat`` evaluator overhead be profiled per definition rather
+    than as one opaque ``check:axiom`` phase.
+    """
+
+    def __init__(
+        self, graph: ExecutionGraph, spec: CatSpec, profiler=None
+    ) -> None:
         self.graph = graph
         self.spec = spec
+        self._profiler = profiler
         self._memo: dict[str, object] = {}
         self._in_progress: set[str] = set()
         #: name -> (Let, Binding); later bindings shadow earlier ones
@@ -186,8 +198,13 @@ class Env:
 
     def lookup(self, node: Var):
         name = node.name
+        prof = self._profiler
         if name in self._memo:
+            if prof is not None:
+                prof.inc(f"cat:memo_hit:{name}")
             return self._memo[name]
+        if prof is not None:
+            prof.inc(f"cat:memo_miss:{name}")
         entry = self._bindings.get(name)
         if entry is not None:
             let, binding = entry
@@ -227,7 +244,7 @@ class Env:
         for name in names:
             self._memo[name] = Relation()
         bound = len(_events(self.graph)) ** 2 + _FIXPOINT_SLACK
-        for _ in range(bound):
+        for rounds in range(1, bound + 1):
             changed = False
             for binding in let.bindings:
                 value = self.eval(binding.body)
@@ -242,6 +259,10 @@ class Env:
                     self._memo[binding.name] = value
                     changed = True
             if not changed:
+                if self._profiler is not None:
+                    self._profiler.observe(
+                        f"cat:fixpoint_iters:{'+'.join(names)}", rounds
+                    )
                 return
         raise CatEvalError(
             f"recursive definition of {', '.join(names)} did not converge "

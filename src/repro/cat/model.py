@@ -118,11 +118,18 @@ class CatModel(MemoryModel):
     # -- evaluation ------------------------------------------------------
 
     def env(self, graph: ExecutionGraph) -> Env:
-        """The (memoised) evaluation environment for ``graph``."""
+        """The (memoised) evaluation environment for ``graph``.
+
+        When an observer is attached (one run of the explorer), the
+        environment profiles its memo hits/misses and fixpoint rounds
+        into the observer's registry — see :class:`Env`.
+        """
+        obs = self._observer
+        profiler = getattr(obs, "metrics", None) if obs.enabled else None
         version = graph._version
         entry = self._envs.get(graph)
-        if entry is None or entry[0] != version:
-            entry = (version, Env(graph, self.spec))
+        if entry is None or entry[0] != version or entry[1]._profiler is not profiler:
+            entry = (version, Env(graph, self.spec, profiler=profiler))
             self._envs[graph] = entry
         return entry[1]
 

@@ -24,6 +24,13 @@
                                          # per-phase times, JSONL trace,
                                          # stderr heartbeat
     hmc trace-summary run.jsonl          # paper-style table from a trace
+    hmc verify SB --model tso --stats --jobs 2 --save-run
+                                         # profiled run, manifest stored
+                                         # under .repro/runs/
+    hmc runs list                        # run history
+    hmc runs diff 20260807 20260808      # compare two stored runs
+    hmc runs check --baseline benchmarks/baseline.json --warn-only
+                                         # CI regression gate
 """
 
 from __future__ import annotations
@@ -76,13 +83,28 @@ def _unknown_family(family: str) -> str:
     )
 
 
+def _wants_manifest(args) -> bool:
+    """Does the invocation need a run manifest (and hence metrics)?"""
+    return bool(
+        getattr(args, "save_run", False)
+        or getattr(args, "manifest", None)
+        or getattr(args, "prom_out", None)
+    )
+
+
 def _observer_from_args(args) -> Observer | None:
-    """Build an Observer from `--stats/--trace-out/--progress`, or None
+    """Build an Observer from `--stats/--trace-out/--progress` (or any
+    flag that needs a metrics registry, like `--save-run`), or None
     when none of them was given."""
     stats = getattr(args, "stats", False)
     trace_out = getattr(args, "trace_out", None)
     progress = getattr(args, "progress", None)
-    if not stats and trace_out is None and progress is None:
+    if (
+        not stats
+        and trace_out is None
+        and progress is None
+        and not _wants_manifest(args)
+    ):
         return None
     reporter = (
         ProgressReporter(every_seconds=progress) if progress is not None else None
@@ -232,8 +254,14 @@ def _cmd_verify(args) -> int:
     print(result.summary())
     if args.stats:
         print(result.stats_summary())
+        if observer is not None:
+            from .obs import format_profile
+
+            print(format_profile(observer.metrics_snapshot()))
     if args.trace_out:
         print(f"trace written to {args.trace_out}")
+    if observer is not None and _wants_manifest(args):
+        _export_run(args, result, observer)
     if result.errors:
         error = result.errors[0]
         print("\nwitness:")
@@ -245,6 +273,34 @@ def _cmd_verify(args) -> int:
             print(format_witness(error.graph))
         return 1
     return 0
+
+
+def _export_run(args, result, observer) -> None:
+    """Handle `verify --save-run/--manifest/--prom-out`."""
+    import json
+
+    from .obs import RunStore, build_manifest, to_prometheus
+
+    manifest = build_manifest(
+        result,
+        observer.metrics_snapshot(),
+        command=" ".join(sys.argv[1:]) if sys.argv[1:] else None,
+        jobs=result.meta.get("jobs", 1),
+    )
+    if getattr(args, "save_run", False):
+        path = RunStore(getattr(args, "runs_dir", None)).save(manifest)
+        print(f"run saved to {path}")
+    manifest_out = getattr(args, "manifest", None)
+    if manifest_out:
+        with open(manifest_out, "w") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"manifest written to {manifest_out}")
+    prom_out = getattr(args, "prom_out", None)
+    if prom_out:
+        with open(prom_out, "w") as handle:
+            handle.write(to_prometheus(manifest))
+        print(f"prometheus metrics written to {prom_out}")
 
 
 def _cmd_litmus_file(args) -> int:
@@ -345,6 +401,96 @@ def _cmd_trace_summary(args) -> int:
     return 0
 
 
+def _cmd_runs(args) -> int:
+    """`hmc runs list|show|diff|check` — the run-history tooling."""
+    import json
+
+    from .obs import (
+        RunStore,
+        check_manifest,
+        diff_manifests,
+        format_check,
+        format_diff,
+    )
+
+    store = RunStore(args.dir)
+
+    def load(ref: str) -> dict | None:
+        try:
+            return store.load(ref)
+        except (OSError, ValueError) as exc:
+            print(str(exc), file=sys.stderr)
+            return None
+
+    if args.runs_command == "list":
+        manifests = []
+        try:
+            manifests = store.list_runs()
+        except (OSError, ValueError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(manifests, indent=2))
+            return 0
+        if not manifests:
+            print(f"no runs stored in {store.root}")
+            return 0
+        for m in manifests:
+            r = m.get("result", {})
+            print(
+                f"{m.get('run_id')}  {m.get('program')}/{m.get('model')}  "
+                f"executions={r.get('executions')} blocked={r.get('blocked')} "
+                f"errors={r.get('errors')} elapsed={r.get('elapsed'):.4f}s "
+                f"jobs={m.get('jobs')}"
+            )
+        return 0
+
+    if args.runs_command == "show":
+        manifest = load(args.run) if args.run != "latest" else store.latest()
+        if manifest is None:
+            if args.run == "latest":
+                print(f"no runs stored in {store.root}", file=sys.stderr)
+            return 2
+        print(json.dumps(manifest, indent=2, sort_keys=True))
+        return 0
+
+    if args.runs_command == "diff":
+        old, new = load(args.old), load(args.new)
+        if old is None or new is None:
+            return 2
+        diff = diff_manifests(old, new)
+        if args.json:
+            print(json.dumps(diff, indent=2))
+        else:
+            print(format_diff(diff))
+        return 0
+
+    # check
+    baseline = load(args.baseline)
+    if baseline is None:
+        return 2
+    if args.run is not None:
+        current = load(args.run)
+    else:
+        current = store.latest()
+        if current is None:
+            print(
+                f"no runs stored in {store.root} (run "
+                "`verify ... --save-run` first, or pass a manifest path)",
+                file=sys.stderr,
+            )
+            return 2
+    if current is None:
+        return 2
+    violations, warnings = check_manifest(
+        current, baseline, max_ratio=args.max_ratio
+    )
+    print(format_check(violations, warnings, warn_only=args.warn_only))
+    if violations and not args.warn_only:
+        return 1
+    return 0
+
+
 def _cmd_experiment(args) -> int:
     fn = ALL_EXPERIMENTS.get(args.name)
     if fn is None:
@@ -442,7 +588,31 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         const=2.0,
         metavar="SECONDS",
-        help="print a heartbeat to stderr every SECONDS (default 2)",
+        help="print a heartbeat to stderr every SECONDS (default 2; "
+        "set $REPRO_PROGRESS_EVERY for a global cadence)",
+    )
+    verify_p.add_argument(
+        "--save-run",
+        action="store_true",
+        help="save a run manifest into the run store "
+        "(see `hmc runs`, docs/OBSERVABILITY.md)",
+    )
+    verify_p.add_argument(
+        "--runs-dir",
+        metavar="DIR",
+        default=None,
+        help="run store directory for --save-run "
+        "(default: $REPRO_RUNS_DIR or .repro/runs)",
+    )
+    verify_p.add_argument(
+        "--manifest",
+        metavar="PATH",
+        help="also write the run manifest JSON to PATH",
+    )
+    verify_p.add_argument(
+        "--prom-out",
+        metavar="PATH",
+        help="write run metrics in Prometheus text format to PATH",
     )
 
     experiment = sub.add_parser(
@@ -507,6 +677,73 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the summary as JSON"
     )
 
+    runs = sub.add_parser(
+        "runs",
+        help="inspect and compare stored run manifests (see --save-run)",
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+
+    def runs_dir_arg(p):
+        p.add_argument(
+            "--dir",
+            metavar="DIR",
+            default=None,
+            help="run store directory "
+            "(default: $REPRO_RUNS_DIR or .repro/runs)",
+        )
+
+    runs_list = runs_sub.add_parser("list", help="list stored runs")
+    runs_dir_arg(runs_list)
+    runs_list.add_argument(
+        "--json", action="store_true", help="emit the full manifests as JSON"
+    )
+
+    runs_show = runs_sub.add_parser("show", help="print one run manifest")
+    runs_dir_arg(runs_show)
+    runs_show.add_argument(
+        "run",
+        nargs="?",
+        default="latest",
+        help="run id, unambiguous prefix, manifest path, or 'latest'",
+    )
+
+    runs_diff = runs_sub.add_parser("diff", help="compare two runs")
+    runs_dir_arg(runs_diff)
+    runs_diff.add_argument("old", help="baseline run id/prefix/path")
+    runs_diff.add_argument("new", help="current run id/prefix/path")
+    runs_diff.add_argument(
+        "--json", action="store_true", help="emit the diff as JSON"
+    )
+
+    runs_check = runs_sub.add_parser(
+        "check", help="gate a run against a baseline manifest (CI)"
+    )
+    runs_dir_arg(runs_check)
+    runs_check.add_argument(
+        "run",
+        nargs="?",
+        default=None,
+        help="run to check (default: latest stored run)",
+    )
+    runs_check.add_argument(
+        "--baseline",
+        required=True,
+        metavar="PATH",
+        help="baseline manifest (run id/prefix or path)",
+    )
+    runs_check.add_argument(
+        "--max-ratio",
+        type=float,
+        default=1.5,
+        metavar="R",
+        help="timing regression threshold (default 1.5x)",
+    )
+    runs_check.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report violations but exit 0 (CI soft gate)",
+    )
+
     return parser
 
 
@@ -523,6 +760,7 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "cat-check": _cmd_cat_check,
     "trace-summary": _cmd_trace_summary,
+    "runs": _cmd_runs,
 }
 
 

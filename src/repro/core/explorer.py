@@ -32,6 +32,7 @@ from ..graphs import ExecutionGraph, canonical_key, final_state
 from ..lang import Program, ReplayStatus, ThreadReplay, replay
 from ..models import MemoryModel, get_model
 from ..obs import NULL_OBSERVER
+from ..obs.profile import activation as profile_activation
 from .config import ExplorationOptions
 from .result import ErrorReport, ExecutionRecord, VerificationResult
 from .revisits import backward_revisits
@@ -100,20 +101,23 @@ class Explorer:
         )
         stack: list[ExecutionGraph] = [root]
         # models are registry singletons: attach the observer for this
-        # run only, and always detach it again
+        # run only, and always detach it again.  The profile activation
+        # makes the same registry visible to the observer-less hot
+        # paths (derived relations) for exactly the same window.
         self.model.set_observer(obs)
         try:
-            while stack:
-                graph = stack.pop()
-                while True:
-                    successors = self._step(graph)
-                    if successors is None:
+            with profile_activation(obs):
+                while stack:
+                    graph = stack.pop()
+                    while True:
+                        successors = self._step(graph)
+                        if successors is None:
+                            break
+                        if len(successors) == 1:
+                            graph = successors[0]
+                            continue
+                        stack.extend(reversed(successors))
                         break
-                    if len(successors) == 1:
-                        graph = successors[0]
-                        continue
-                    stack.extend(reversed(successors))
-                    break
         except _SearchLimit:
             self.result.truncated = True
         finally:
@@ -233,14 +237,16 @@ class Explorer:
             extended.add_read(tid, label, write)
             if self._consistent_step(extended):
                 successors.append(extended)
-        if self.obs.trace_enabled:
-            self.obs.emit(
-                "rf_branch",
-                tid=tid,
-                loc=label.loc,
-                candidates=candidates,
-                consistent=len(successors),
-            )
+        if self._timed:
+            self.obs.observe("rf_fanout", len(successors))
+            if self.obs.trace_enabled:
+                self.obs.emit(
+                    "rf_branch",
+                    tid=tid,
+                    loc=label.loc,
+                    candidates=candidates,
+                    consistent=len(successors),
+                )
         return successors
 
     def _add_write(
@@ -254,14 +260,16 @@ class Explorer:
         else:
             placements = self._co_placements(graph, tid, label)
         successors = [g for g, _, ok in placements if ok]
-        if self.obs.trace_enabled:
-            self.obs.emit(
-                "co_branch",
-                tid=tid,
-                loc=label.loc,
-                positions=len(placements),
-                consistent=len(successors),
-            )
+        if self._timed:
+            self.obs.observe("co_fanout", len(successors))
+            if self.obs.trace_enabled:
+                self.obs.emit(
+                    "co_branch",
+                    tid=tid,
+                    loc=label.loc,
+                    positions=len(placements),
+                    consistent=len(successors),
+                )
         if self.options.backward_revisits:
             if self._timed:
                 with self.obs.phase("revisit"):
@@ -392,6 +400,7 @@ class Explorer:
             raise _SearchLimit  # global budget drained; don't record
         self.result.executions += 1
         if self._timed:
+            self.obs.observe("graph_events", len(graph))
             if self.obs.trace_enabled:
                 self.obs.emit("graph_complete", events=len(graph))
             self.obs.tick(

@@ -70,15 +70,19 @@ from ..graphs import ExecutionGraph
 from ..lang import Program
 from ..models import MemoryModel, get_model
 from ..obs import NULL_OBSERVER, FileSink, Observer, read_trace_prefix
+from ..obs.profile import activation as _profile_activation
 from .config import ExplorationOptions
 from .explorer import Explorer, _SearchLimit, effective_jobs
 from .result import VerificationResult, merge_phase_times
 
 #: a pickled unit of work: (task index, attempt number, program, model
-#: spec, options, subtree prefix graph, worker trace path or None).
-#: The model spec is the registry name for registered models, and the
-#: pickled model object itself otherwise (e.g. a CatModel loaded from
-#: a ``.cat`` file) — workers hand either form to the Explorer.
+#: spec, options, subtree prefix graph, worker trace path or None,
+#: collect-metrics flag).  The model spec is the registry name for
+#: registered models, and the pickled model object itself otherwise
+#: (e.g. a CatModel loaded from a ``.cat`` file) — workers hand either
+#: form to the Explorer.  When the collect-metrics flag is set the
+#: worker runs observed (even without tracing) and returns a picklable
+#: metrics snapshot for the coordinator to fold back.
 SubtreeTask = tuple[
     int,
     int,
@@ -87,6 +91,7 @@ SubtreeTask = tuple[
     ExplorationOptions,
     ExecutionGraph,
     "str | None",
+    bool,
 ]
 
 
@@ -216,17 +221,20 @@ def split_frontier(
     aborted = False
     coordinator.model.set_observer(observer)
     try:
-        while frontier and len(frontier) < target:
-            graph = frontier.popleft()
-            while True:
-                successors = coordinator._step(graph)
-                if successors is None:
+        # _step bypasses Explorer.run(), so the profile hook used by the
+        # observer-less hot paths (graph_cached memoisation) is armed here
+        with _profile_activation(observer):
+            while frontier and len(frontier) < target:
+                graph = frontier.popleft()
+                while True:
+                    successors = coordinator._step(graph)
+                    if successors is None:
+                        break
+                    if len(successors) == 1:
+                        graph = successors[0]
+                        continue
+                    frontier.extend(successors)
                     break
-                if len(successors) == 1:
-                    graph = successors[0]
-                    continue
-                frontier.extend(successors)
-                break
     except _SearchLimit:
         coordinator.result.truncated = True
         aborted = True
@@ -280,13 +288,24 @@ def _maybe_inject_fault(index: int, attempt: int) -> None:
         raise RuntimeError(f"injected fault in task {index}")
 
 
-def _run_subtree(task: SubtreeTask) -> tuple[int, int, VerificationResult]:
-    """Worker entry point: explore one subtree prefix to exhaustion."""
-    index, attempt, program, model_spec, options, prefix, trace_path = task
+def _run_subtree(
+    task: SubtreeTask,
+) -> tuple[int, int, VerificationResult, "dict | None"]:
+    """Worker entry point: explore one subtree prefix to exhaustion.
+
+    Returns ``(index, attempt, result, metrics snapshot)`` — the
+    snapshot is a plain picklable dict (or None when the coordinator
+    runs unobserved) the coordinator merges into its own registry, so
+    worker-side counters/histograms survive the process boundary.
+    """
+    index, attempt, program, model_spec, options, prefix, trace_path, \
+        collect_metrics = task
     _maybe_inject_fault(index, attempt)
     observer = NULL_OBSERVER
     if trace_path is not None:
         observer = Observer.to_file(trace_path)
+    elif collect_metrics:
+        observer = Observer()
     try:
         result = Explorer(
             program,
@@ -298,7 +317,8 @@ def _run_subtree(task: SubtreeTask) -> tuple[int, int, VerificationResult]:
         ).run()
     finally:
         observer.close()
-    return index, attempt, result
+    snapshot = observer.metrics_snapshot() if collect_metrics else None
+    return index, attempt, result, snapshot
 
 
 # -- coordinator side ------------------------------------------------------
@@ -393,7 +413,9 @@ class _Supervisor:
         self.trace_base = trace_base
         self.budget = budget
         self.obs = observer
+        self.collect_metrics = observer.enabled
         self.results: dict[int, VerificationResult] = {}
+        self.snapshots: dict[int, dict] = {}
         self.winning_paths: dict[int, str] = {}
         self.fallback: list[int] = []
         self.stopped = False
@@ -436,6 +458,7 @@ class _Supervisor:
             self.options,
             state.prefix,
             _trace_path(self.trace_base, state.index, attempt),
+            self.collect_metrics,
         )
         state.handles.append(self.pool.apply_async(_run_subtree, (task,)))
         state.attempts = attempt + 1
@@ -496,7 +519,7 @@ class _Supervisor:
                 continue
             progressed = True
             try:
-                _, attempt, result = done.get()
+                _, attempt, result, snapshot = done.get()
             except BaseException as exc:
                 state.handles.remove(done)
                 state.failures += 1
@@ -512,6 +535,8 @@ class _Supervisor:
                 continue
             outstanding.discard(index)
             self.results[index] = result
+            if snapshot is not None:
+                self.snapshots[index] = snapshot
             path = _trace_path(self.trace_base, index, attempt)
             if path is not None:
                 self.winning_paths[index] = path
@@ -678,9 +703,14 @@ def verify_parallel(
         for position, index in enumerate(supervisor.fallback):
             if obs.trace_enabled:
                 obs.emit("task_fallback", task=index)
-            fb_obs = (
-                Observer(trace=obs.trace) if obs.trace_enabled else NULL_OBSERVER
-            )
+            # the fallback explorer gets its *own* registry (not the
+            # coordinator's): its result.phase_times must cover only
+            # this subtree, and VerificationResult.merge folds them in
+            # — sharing the coordinator registry would double-count.
+            # Counters/histograms travel by snapshot, like a worker's.
+            fb_obs = NULL_OBSERVER
+            if obs.enabled:
+                fb_obs = Observer(trace=obs.trace if obs.trace_enabled else None)
             supervisor.results[index] = Explorer(
                 program,
                 model,
@@ -689,12 +719,33 @@ def verify_parallel(
                 root=supervisor.states[index].prefix,
                 budget=budget,
             ).run()
+            if fb_obs.enabled:
+                supervisor.snapshots[index] = fb_obs.metrics_snapshot()
             if options.stop_on_error and supervisor.results[index].errors:
                 cancelled += len(supervisor.fallback) - position - 1
                 break
     worker_results = supervisor.results if supervisor is not None else {}
     for index in sorted(worker_results):
         merged = merged.merge(worker_results[index])
+    if supervisor is not None and obs.enabled:
+        # fold worker-side counters/histograms into the coordinator's
+        # registry (phases already arrived through result.phase_times)
+        for index in sorted(supervisor.snapshots):
+            obs.metrics.merge_snapshot(supervisor.snapshots[index])
+        skew = _worker_skew(worker_results)
+        if skew is not None:
+            merged.meta["worker_skew"] = skew
+        if obs.trace_enabled:
+            for index in sorted(worker_results):
+                sub = worker_results[index]
+                obs.emit(
+                    "worker_metrics",
+                    worker=index,
+                    executions=sub.executions,
+                    blocked=sub.blocked,
+                    errors=len(sub.errors),
+                    elapsed=round(sub.elapsed, 6),
+                )
     if supervisor is not None and trace_base is not None:
         _fold_worker_traces(obs, sorted(supervisor.winning_paths.items()))
     merged.elapsed = time.perf_counter() - start
@@ -748,6 +799,28 @@ def verify_parallel(
         )
         obs.finish(executions=merged.executions, blocked=merged.blocked)
     return merged
+
+
+def _worker_skew(worker_results: dict[int, VerificationResult]) -> dict | None:
+    """Load-balance summary across subtree tasks: how unevenly the
+    search was carved up.  ``max/mean`` executions is the headline
+    number — 1.0 means perfectly balanced shards, large values mean one
+    subtree dominated the run (`trace-summary` surfaces the same figure
+    from ``worker_metrics`` records)."""
+    if not worker_results:
+        return None
+    executions = [r.executions for r in worker_results.values()]
+    elapsed = [r.elapsed for r in worker_results.values()]
+    mean = sum(executions) / len(executions)
+    return {
+        "tasks": len(executions),
+        "min_executions": min(executions),
+        "max_executions": max(executions),
+        "mean_executions": round(mean, 3),
+        "imbalance": round(max(executions) / mean, 3) if mean else 1.0,
+        "min_elapsed": round(min(elapsed), 6),
+        "max_elapsed": round(max(elapsed), 6),
+    }
 
 
 def _fold_worker_traces(observer, indexed_paths: list[tuple[int, str]]) -> None:

@@ -157,13 +157,15 @@ def backward_revisits(
             _emit_rejected(obs, read, write, "inconsistent")
             continue
         stats.revisits_performed += 1
-        if obs.trace_enabled:
-            obs.emit(
-                "revisit_performed",
-                read=[read.tid, read.index],
-                write=[write.tid, write.index],
-                deleted=len(deleted),
-            )
+        if obs.enabled:
+            obs.observe("revisit_deleted", len(deleted))
+            if obs.trace_enabled:
+                obs.emit(
+                    "revisit_performed",
+                    read=[read.tid, read.index],
+                    write=[write.tid, write.index],
+                    deleted=len(deleted),
+                )
         out.append(revisited)
     return out
 

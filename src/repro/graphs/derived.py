@@ -18,6 +18,7 @@ import weakref
 from typing import Callable
 
 from ..events import Event, FenceLabel, Label, ReadLabel, WriteLabel
+from ..obs.profile import _STATE as _PROFILE
 from ..relations import Relation, union
 from .graph import ExecutionGraph
 
@@ -31,8 +32,18 @@ _CACHE: "weakref.WeakKeyDictionary[ExecutionGraph, tuple[int, dict]]" = (
 
 
 def graph_cached(fn: Callable) -> Callable:
-    """Memoise a Relation-valued function of one graph."""
+    """Memoise a Relation-valued function of one graph.
+
+    When a profiling registry is active (see :mod:`repro.obs.profile`)
+    each call is attributed: memo hits bump ``relation:<name>:memo_hit``
+    and computes are timed under a ``relation:<name>`` phase, which
+    nests inside whatever ``check:`` phase asked for the relation — so
+    axiom self-time excludes relation-building time.  Disabled cost is
+    one ``None`` check.
+    """
     name = fn.__name__
+    hit_counter = f"relation:{name}:memo_hit"
+    compute_phase = f"relation:{name}"
 
     def wrapper(graph: ExecutionGraph):
         version = graph._version
@@ -42,7 +53,16 @@ def graph_cached(fn: Callable) -> Callable:
             _CACHE[graph] = entry
         memo = entry[1]
         if name not in memo:
-            memo[name] = fn(graph)
+            reg = _PROFILE.registry
+            if reg is not None:
+                with reg.phase(compute_phase):
+                    memo[name] = fn(graph)
+            else:
+                memo[name] = fn(graph)
+        else:
+            reg = _PROFILE.registry
+            if reg is not None:
+                reg.inc(hit_counter)
         return memo[name]
 
     wrapper.__name__ = name

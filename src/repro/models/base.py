@@ -59,7 +59,11 @@ class MemoryModel(abc.ABC):
         if not obs.enabled:
             return sc_per_location(graph) and atomicity_ok(graph)
         with obs.phase("check:coherence"):
-            return sc_per_location(graph) and atomicity_ok(graph)
+            ok = sc_per_location(graph) and atomicity_ok(graph)
+        if not ok:
+            # failure counters; totals come from the phase's `calls`
+            obs.inc("check:coherence:fail")
+        return ok
 
     def is_consistent(self, graph: ExecutionGraph) -> bool:
         """Full consistency: coherence, atomicity and the model axiom."""
@@ -69,7 +73,10 @@ class MemoryModel(abc.ABC):
         if not self.coherence_ok(graph):  # timed in coherence_ok
             return False
         with obs.phase(f"check:axiom:{self.name}"):
-            return self.axiom_holds(graph)
+            ok = self.axiom_holds(graph)
+        if not ok:
+            obs.inc(f"check:axiom:{self.name}:fail")
+        return ok
 
     @abc.abstractmethod
     def axiom_holds(self, graph: ExecutionGraph) -> bool:

@@ -2,17 +2,31 @@
 
 A zero-dependency metrics registry (counters, gauges, histograms,
 nested phase timers), structured JSONL exploration traces, a progress
-heartbeat for long runs, and trace aggregation into the paper-style
-summary table.  The checker is instrumented against the
+heartbeat for long runs, trace aggregation into the paper-style
+summary table, deep-profiling hooks for hotspot attribution
+(:mod:`repro.obs.profile`), a persistent run store with regression
+gating (:mod:`repro.obs.runstore`), and a Prometheus exporter
+(:mod:`repro.obs.export`).  The checker is instrumented against the
 :class:`Observer` facade; the default :data:`NULL_OBSERVER` makes the
 instrumentation cost ~nothing when observability is off.
 
 See docs/OBSERVABILITY.md for the trace schema and metric names.
 """
 
+from .export import to_prometheus
 from .metrics import Histogram, MetricsRegistry, PhaseStat
 from .observer import NULL_OBSERVER, NullObserver, Observer
-from .progress import ProgressReporter
+from .profile import format_profile, memo_rates
+from .progress import ProgressMeter, ProgressReporter, parse_progress_spec
+from .runstore import (
+    MANIFEST_SCHEMA_VERSION,
+    RunStore,
+    build_manifest,
+    check_manifest,
+    diff_manifests,
+    format_check,
+    format_diff,
+)
 from .summary import (
     TraceSummary,
     format_phase_table,
@@ -37,7 +51,19 @@ __all__ = [
     "NULL_OBSERVER",
     "NullObserver",
     "Observer",
+    "ProgressMeter",
     "ProgressReporter",
+    "parse_progress_spec",
+    "format_profile",
+    "memo_rates",
+    "to_prometheus",
+    "MANIFEST_SCHEMA_VERSION",
+    "RunStore",
+    "build_manifest",
+    "check_manifest",
+    "diff_manifests",
+    "format_check",
+    "format_diff",
     "TraceSummary",
     "format_phase_table",
     "format_summary",

@@ -57,6 +57,24 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def merge_dict(self, snap: dict) -> None:
+        """Fold a snapshot produced by :meth:`as_dict` into this
+        histogram (bucket-wise, assuming the same ``bounds`` — which
+        all histograms created through one metric name share)."""
+        self.count += snap.get("count", 0)
+        self.total += snap.get("total", 0.0)
+        for edge in ("min", "max"):
+            theirs = snap.get(edge)
+            if theirs is None:
+                continue
+            ours = getattr(self, edge)
+            pick = min if edge == "min" else max
+            setattr(self, edge, theirs if ours is None else pick(ours, theirs))
+        buckets = snap.get("buckets", {})
+        for i, bound in enumerate(self.bounds):
+            self.counts[i] += buckets.get(f"le_{bound:g}", 0)
+        self.counts[-1] += buckets.get("inf", 0)
+
     def as_dict(self) -> dict:
         return {
             "count": self.count,
@@ -166,10 +184,47 @@ class MetricsRegistry:
     # -- snapshots ------------------------------------------------------
 
     def snapshot(self) -> dict:
-        """Everything the registry knows, as plain JSON-ready data."""
+        """Everything the registry knows, as plain JSON-ready data.
+
+        The snapshot is built from plain dicts/floats only, so it
+        pickles across process boundaries — parallel workers return one
+        per subtree task and the coordinator folds them back with
+        :meth:`merge_snapshot`.
+        """
         return {
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
             "histograms": {k: h.as_dict() for k, h in self.histograms.items()},
             "phases": self.phase_report(),
         }
+
+    def merge_snapshot(self, snap: dict, include_phases: bool = False) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters and histograms sum; gauges keep the maximum (they are
+        point-in-time readings, and "worst seen anywhere" is the only
+        aggregation that stays meaningful across workers).  Phase
+        timings are skipped by default because the parallel engine
+        already merges them through ``VerificationResult.phase_times``
+        — folding them here too would double-count; pass
+        ``include_phases=True`` only when the snapshot's phases travel
+        no other way.
+        """
+        for name, value in snap.get("counters", {}).items():
+            self.inc(name, value)
+        for name, value in snap.get("gauges", {}).items():
+            if name not in self.gauges or value > self.gauges[name]:
+                self.gauges[name] = value
+        for name, hist_snap in snap.get("histograms", {}).items():
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = Histogram()
+            hist.merge_dict(hist_snap)
+        if include_phases:
+            for name, stat_snap in snap.get("phases", {}).items():
+                stat = self._phases.get(name)
+                if stat is None:
+                    stat = self._phases[name] = PhaseStat()
+                stat.calls += int(stat_snap.get("calls", 0))
+                stat.total += stat_snap.get("total", 0.0)
+                stat.self_time += stat_snap.get("self", 0.0)

@@ -52,6 +52,9 @@ class NullObserver:
     def inc(self, name: str, by: float = 1) -> None:
         pass
 
+    def observe(self, name: str, value: float) -> None:
+        pass
+
     def tick(self, **counts) -> None:
         pass
 
@@ -124,6 +127,9 @@ class Observer(NullObserver):
 
     def inc(self, name: str, by: float = 1) -> None:
         self.metrics.inc(name, by)
+
+    def observe(self, name: str, value: float) -> None:
+        self.metrics.observe(name, value)
 
     def tick(self, **counts) -> None:
         if self.progress is not None:

@@ -5,12 +5,52 @@ graph by the explorer and the baselines; it prints a one-line
 heartbeat to stderr every *N* graphs and/or every *T* seconds,
 whichever fires first.  Exploration loops stay oblivious to the
 policy — they just call :meth:`ProgressReporter.tick`.
+
+The cadence can be set without touching code through the
+``REPRO_PROGRESS_EVERY`` environment variable: a comma- or
+space-separated list of tokens where a bare integer means *graphs*
+and a number suffixed ``s`` means *seconds* — ``"500"``, ``"2s"``
+and ``"1000,5s"`` are all valid.  Explicit constructor arguments win
+over the environment.
 """
 
 from __future__ import annotations
 
+import os
 import sys
 import time
+
+#: environment variable holding the default heartbeat cadence
+PROGRESS_ENV = "REPRO_PROGRESS_EVERY"
+
+
+def parse_progress_spec(spec: str) -> tuple[int | None, float | None]:
+    """Parse a ``REPRO_PROGRESS_EVERY`` value into
+    ``(every_graphs, every_seconds)``.
+
+    Raises :class:`ValueError` on malformed tokens, naming the token —
+    a silent fallback would make a typo'd cadence indistinguishable
+    from the default.
+    """
+    every_graphs: int | None = None
+    every_seconds: float | None = None
+    for token in spec.replace(",", " ").split():
+        try:
+            if token.lower().endswith("s"):
+                every_seconds = float(token[:-1])
+            else:
+                every_graphs = int(token)
+        except ValueError:
+            raise ValueError(
+                f"bad {PROGRESS_ENV} token {token!r}: expected an integer "
+                "(graphs) or a number suffixed 's' (seconds), "
+                "e.g. '500', '2s' or '1000,5s'"
+            ) from None
+    if every_graphs is not None and every_graphs <= 0:
+        raise ValueError(f"{PROGRESS_ENV} graph count must be positive")
+    if every_seconds is not None and every_seconds <= 0:
+        raise ValueError(f"{PROGRESS_ENV} seconds must be positive")
+    return every_graphs, every_seconds
 
 
 class ProgressReporter:
@@ -25,6 +65,10 @@ class ProgressReporter:
         clock=time.monotonic,
         label: str = "explore",
     ) -> None:
+        if every_graphs is None and every_seconds is None:
+            env = os.environ.get(PROGRESS_ENV)
+            if env:
+                every_graphs, every_seconds = parse_progress_spec(env)
         if every_graphs is None and every_seconds is None:
             every_seconds = 2.0
         self.every_graphs = every_graphs
@@ -58,10 +102,13 @@ class ProgressReporter:
             self._beat(now, counts)
 
     def finish(self, **counts) -> None:
-        """Print a final line (only if at least one beat was printed,
-        so short runs stay silent)."""
-        if self.beats:
-            self._beat(self._clock(), counts, final=True)
+        """Print the final heartbeat line.
+
+        Always emits, even when no periodic beat fired: a run short
+        enough to finish inside one interval still deserves its one
+        summary line (a silent finish made ``--progress`` look broken
+        on small programs)."""
+        self._beat(self._clock(), counts, final=True)
 
     def _beat(self, now: float, counts: dict, final: bool = False) -> None:
         self.beats += 1
@@ -76,3 +123,8 @@ class ProgressReporter:
             f"in {elapsed:.1f}s ({rate:.0f}/s){' ' if shown else ''}{shown}",
             file=self.stream,
         )
+
+
+#: the name the docs use for the heartbeat component; kept as an alias
+#: so ``from repro.obs import ProgressMeter`` reads naturally
+ProgressMeter = ProgressReporter

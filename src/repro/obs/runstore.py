@@ -1,0 +1,402 @@
+"""Run manifests and the persistent run store.
+
+A **run manifest** is a versioned JSON document capturing everything a
+verification run produced that is worth comparing later: the headline
+counts, exploration statistics, per-phase timings, and the profiler's
+metrics snapshot.  Manifests are the interchange format of the
+run-history tooling — ``repro runs list|show|diff|check`` — and the
+input to the Prometheus exporter (:mod:`repro.obs.export`).
+
+The **run store** is a flat directory of manifests (default
+``.repro/runs/``, overridable with ``REPRO_RUNS_DIR`` or ``--dir``),
+one ``<run-id>.json`` per saved run.  Run ids are
+``YYYYMMDDTHHMMSS-<hash8>`` — sortable by creation time, unique by
+content hash — and every command accepts an unambiguous id prefix.
+
+``diff_manifests`` compares two manifests field by field;
+``check_manifest`` turns the comparison into a CI gate: exact-count
+mismatches (executions / blocked / errors / outcomes) are
+**violations** — on a deterministic exhaustive search they must not
+move — while timing regressions and scheduling-sensitive counters
+(duplicates, per-worker accounting) are **warnings** governed by a
+ratio threshold and a noise floor.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+
+MANIFEST_SCHEMA_VERSION = 1
+
+#: environment override for the store location
+RUNS_DIR_ENV = "REPRO_RUNS_DIR"
+
+#: default store location, relative to the working directory
+DEFAULT_RUNS_DIR = os.path.join(".repro", "runs")
+
+#: exact-match result fields: a mismatch is a correctness regression
+EXACT_FIELDS = ("executions", "blocked", "errors")
+
+#: result fields compared but only warned about (parallel scheduling
+#: legitimately perturbs them)
+NOISY_FIELDS = ("duplicates",)
+
+
+def _outcome_key(outcome) -> str:
+    """A stable string form of one observable outcome."""
+    return ",".join(f"{k}={v}" for k, v in outcome)
+
+
+def build_manifest(
+    result,
+    snapshot: dict | None = None,
+    command: str | None = None,
+    jobs: int | None = None,
+    created: float | None = None,
+) -> dict:
+    """Assemble the versioned manifest for one verification run.
+
+    ``result`` is a :class:`~repro.core.result.VerificationResult`;
+    ``snapshot`` the observer's ``metrics_snapshot()`` (omitted when
+    the run was unobserved).  The manifest is pure JSON-ready data.
+    """
+    created = time.time() if created is None else created
+    meta = {
+        k: v
+        for k, v in result.meta.items()
+        if isinstance(v, (int, float, bool, str, type(None), dict, list))
+    }
+    manifest = {
+        "schema": MANIFEST_SCHEMA_VERSION,
+        "kind": "repro-run-manifest",
+        "created": created,
+        "created_iso": time.strftime(
+            "%Y-%m-%dT%H:%M:%S", time.localtime(created)
+        ),
+        "program": result.program,
+        "model": result.model,
+        "command": command,
+        "jobs": jobs,
+        "result": {
+            "executions": result.executions,
+            "blocked": result.blocked,
+            "duplicates": result.duplicates,
+            "errors": len(result.errors),
+            "truncated": result.truncated,
+            "elapsed": round(result.elapsed, 6),
+            "outcomes": {
+                _outcome_key(outcome): count
+                for outcome, count in sorted(result.outcomes.items())
+            },
+            "stats": result.stats.as_dict(),
+            "meta": meta,
+        },
+        "phases": result.phase_times,
+        "metrics": {
+            "counters": dict((snapshot or {}).get("counters", {})),
+            "gauges": dict((snapshot or {}).get("gauges", {})),
+            "histograms": dict((snapshot or {}).get("histograms", {})),
+        },
+    }
+    return manifest
+
+
+def manifest_run_id(manifest: dict) -> str:
+    """The store filename stem for ``manifest``: creation timestamp
+    (sortable) plus a content-hash suffix (unique)."""
+    stamp = time.strftime(
+        "%Y%m%dT%H%M%S", time.localtime(manifest.get("created", 0))
+    )
+    digest = hashlib.sha256(
+        json.dumps(manifest, sort_keys=True).encode()
+    ).hexdigest()[:8]
+    return f"{stamp}-{digest}"
+
+
+class RunStore:
+    """A flat directory of run manifests."""
+
+    def __init__(self, root: str | None = None) -> None:
+        self.root = (
+            root
+            if root is not None
+            else os.environ.get(RUNS_DIR_ENV) or DEFAULT_RUNS_DIR
+        )
+
+    # -- writing ---------------------------------------------------------
+
+    def save(self, manifest: dict) -> str:
+        """Persist ``manifest``; returns the path written."""
+        os.makedirs(self.root, exist_ok=True)
+        run_id = manifest_run_id(manifest)
+        manifest = {**manifest, "run_id": run_id}
+        path = os.path.join(self.root, f"{run_id}.json")
+        tmp = f"{path}.tmp"
+        with open(tmp, "w") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+        return path
+
+    # -- reading ---------------------------------------------------------
+
+    def run_ids(self) -> list[str]:
+        """All stored run ids, oldest first."""
+        if not os.path.isdir(self.root):
+            return []
+        return sorted(
+            name[: -len(".json")]
+            for name in os.listdir(self.root)
+            if name.endswith(".json")
+        )
+
+    def list_runs(self) -> list[dict]:
+        """All stored manifests, oldest first."""
+        return [self.load(run_id) for run_id in self.run_ids()]
+
+    def latest(self) -> dict | None:
+        ids = self.run_ids()
+        return self.load(ids[-1]) if ids else None
+
+    def load(self, ref: str) -> dict:
+        """Load a manifest by run id, unambiguous id prefix, or path.
+
+        Raises :class:`FileNotFoundError` for an unknown ref and
+        :class:`ValueError` for an ambiguous prefix or a file that is
+        not a run manifest.
+        """
+        if os.sep in ref or ref.endswith(".json") or os.path.isfile(ref):
+            path = ref
+        else:
+            matches = [i for i in self.run_ids() if i.startswith(ref)]
+            if not matches:
+                raise FileNotFoundError(
+                    f"no run matching {ref!r} in {self.root}"
+                )
+            if len(matches) > 1:
+                raise ValueError(
+                    f"ambiguous run ref {ref!r}: matches "
+                    + ", ".join(matches)
+                )
+            path = os.path.join(self.root, f"{matches[0]}.json")
+        with open(path) as handle:
+            manifest = json.load(handle)
+        if manifest.get("kind") != "repro-run-manifest":
+            raise ValueError(f"{path} is not a run manifest")
+        schema = manifest.get("schema")
+        if schema != MANIFEST_SCHEMA_VERSION:
+            raise ValueError(
+                f"{path}: unsupported manifest schema {schema!r} "
+                f"(this build reads {MANIFEST_SCHEMA_VERSION})"
+            )
+        return manifest
+
+
+# -- comparison --------------------------------------------------------------
+
+
+def diff_manifests(a: dict, b: dict) -> dict:
+    """Field-by-field comparison of two manifests (``a`` = old/baseline,
+    ``b`` = new/current).  Returns JSON-ready data; render with
+    :func:`format_diff`."""
+    ra, rb = a.get("result", {}), b.get("result", {})
+    counts = {}
+    for key in (*EXACT_FIELDS, *NOISY_FIELDS, "truncated"):
+        if ra.get(key) != rb.get(key):
+            counts[key] = {"old": ra.get(key), "new": rb.get(key)}
+    stats = {}
+    sa, sb = ra.get("stats", {}), rb.get("stats", {})
+    for key in sorted(set(sa) | set(sb)):
+        if sa.get(key, 0) != sb.get(key, 0):
+            stats[key] = {"old": sa.get(key, 0), "new": sb.get(key, 0)}
+    oa, ob = ra.get("outcomes", {}), rb.get("outcomes", {})
+    outcomes = {
+        "added": sorted(set(ob) - set(oa)),
+        "removed": sorted(set(oa) - set(ob)),
+        "recount": {
+            k: {"old": oa[k], "new": ob[k]}
+            for k in sorted(set(oa) & set(ob))
+            if oa[k] != ob[k]
+        },
+    }
+    ca = a.get("metrics", {}).get("counters", {})
+    cb = b.get("metrics", {}).get("counters", {})
+    counters = {}
+    for key in sorted(set(ca) | set(cb)):
+        if ca.get(key, 0) != cb.get(key, 0):
+            counters[key] = {"old": ca.get(key, 0), "new": cb.get(key, 0)}
+    ea, eb = ra.get("elapsed", 0.0), rb.get("elapsed", 0.0)
+    timing = {
+        "elapsed": {
+            "old": ea,
+            "new": eb,
+            "ratio": round(eb / ea, 3) if ea else None,
+        }
+    }
+    pa, pb = a.get("phases", {}) or {}, b.get("phases", {}) or {}
+    phases = {}
+    for key in sorted(set(pa) | set(pb)):
+        old = (pa.get(key) or {}).get("self", 0.0)
+        new = (pb.get(key) or {}).get("self", 0.0)
+        if old or new:
+            phases[key] = {
+                "old": old,
+                "new": new,
+                "ratio": round(new / old, 3) if old else None,
+            }
+    return {
+        "old": a.get("run_id") or a.get("created_iso"),
+        "new": b.get("run_id") or b.get("created_iso"),
+        "program": {"old": a.get("program"), "new": b.get("program")},
+        "model": {"old": a.get("model"), "new": b.get("model")},
+        "counts": counts,
+        "stats": stats,
+        "outcomes": outcomes,
+        "counters": counters,
+        "timing": timing,
+        "phases": phases,
+    }
+
+
+def format_diff(diff: dict) -> str:
+    """Render :func:`diff_manifests` output as aligned text."""
+    lines = [f"run diff: {diff['old']} -> {diff['new']}"]
+    for key in ("program", "model"):
+        pair = diff[key]
+        if pair["old"] != pair["new"]:
+            lines.append(
+                f"  {key} differs: {pair['old']!r} vs {pair['new']!r}"
+            )
+    changed = False
+    for section in ("counts", "stats", "counters"):
+        entries = diff[section]
+        if not entries:
+            continue
+        changed = True
+        lines.append(f"  {section}:")
+        for key, pair in entries.items():
+            lines.append(f"    {key}: {pair['old']} -> {pair['new']}")
+    outcomes = diff["outcomes"]
+    if outcomes["added"] or outcomes["removed"] or outcomes["recount"]:
+        changed = True
+        lines.append("  outcomes:")
+        for key in outcomes["added"]:
+            lines.append(f"    + {{{key}}}")
+        for key in outcomes["removed"]:
+            lines.append(f"    - {{{key}}}")
+        for key, pair in outcomes["recount"].items():
+            lines.append(f"    {{{key}}}: {pair['old']} -> {pair['new']}")
+    elapsed = diff["timing"]["elapsed"]
+    ratio = elapsed["ratio"]
+    lines.append(
+        f"  elapsed: {elapsed['old']:.4f}s -> {elapsed['new']:.4f}s"
+        + (f" ({ratio:.2f}x)" if ratio is not None else "")
+    )
+    slow = {
+        name: pair
+        for name, pair in diff["phases"].items()
+        if pair["ratio"] is not None and pair["ratio"] >= 1.2
+    }
+    if slow:
+        lines.append("  slower phases (self time):")
+        for name, pair in sorted(
+            slow.items(), key=lambda kv: -(kv[1]["ratio"] or 0)
+        ):
+            lines.append(
+                f"    {name}: {pair['old']:.4f}s -> {pair['new']:.4f}s "
+                f"({pair['ratio']:.2f}x)"
+            )
+    if not changed:
+        lines.append("  results identical")
+    return "\n".join(lines)
+
+
+def check_manifest(
+    current: dict,
+    baseline: dict,
+    max_ratio: float = 1.5,
+    min_seconds: float = 0.05,
+) -> tuple[list[str], list[str]]:
+    """Gate ``current`` against ``baseline``.
+
+    Returns ``(violations, warnings)``: violations are result-count or
+    outcome mismatches (a deterministic exhaustive search must
+    reproduce the baseline exactly); warnings are timing regressions
+    beyond ``max_ratio`` (ignored below the ``min_seconds`` noise
+    floor) and scheduling-sensitive counter drift.
+    """
+    violations: list[str] = []
+    warnings: list[str] = []
+    for key in ("program", "model"):
+        if current.get(key) != baseline.get(key):
+            violations.append(
+                f"{key} mismatch: baseline {baseline.get(key)!r}, "
+                f"current {current.get(key)!r} — comparing different runs?"
+            )
+    rc, rb = current.get("result", {}), baseline.get("result", {})
+    for key in EXACT_FIELDS:
+        if rc.get(key) != rb.get(key):
+            violations.append(
+                f"{key}: baseline {rb.get(key)}, current {rc.get(key)}"
+            )
+    oc, ob = rc.get("outcomes", {}), rb.get("outcomes", {})
+    for key in sorted(set(ob) - set(oc)):
+        violations.append(f"outcome lost: {{{key}}}")
+    for key in sorted(set(oc) - set(ob)):
+        violations.append(f"outcome gained: {{{key}}}")
+    for key in NOISY_FIELDS:
+        if rc.get(key) != rb.get(key):
+            warnings.append(
+                f"{key}: baseline {rb.get(key)}, current {rc.get(key)} "
+                "(scheduling-sensitive)"
+            )
+    sc, sb = rc.get("stats", {}), rb.get("stats", {})
+    for key in sorted(set(sc) | set(sb)):
+        if sc.get(key, 0) != sb.get(key, 0):
+            warnings.append(
+                f"stats.{key}: baseline {sb.get(key, 0)}, "
+                f"current {sc.get(key, 0)}"
+            )
+    old, new = rb.get("elapsed", 0.0), rc.get("elapsed", 0.0)
+    if old >= min_seconds and new >= min_seconds and new > old * max_ratio:
+        warnings.append(
+            f"elapsed regression: {old:.4f}s -> {new:.4f}s "
+            f"({new / old:.2f}x > {max_ratio}x threshold)"
+        )
+    pc = current.get("phases", {}) or {}
+    pb = baseline.get("phases", {}) or {}
+    for name in sorted(set(pc) & set(pb)):
+        old = (pb.get(name) or {}).get("self", 0.0)
+        new = (pc.get(name) or {}).get("self", 0.0)
+        if old >= min_seconds and new > old * max_ratio:
+            warnings.append(
+                f"phase {name!r} self-time regression: "
+                f"{old:.4f}s -> {new:.4f}s ({new / old:.2f}x)"
+            )
+    return violations, warnings
+
+
+def format_check(
+    violations: list[str], warnings: list[str], warn_only: bool = False
+) -> str:
+    """Render a :func:`check_manifest` verdict as text."""
+    lines = []
+    for message in violations:
+        lines.append(f"VIOLATION: {message}")
+    for message in warnings:
+        lines.append(f"warning: {message}")
+    if not violations and not warnings:
+        lines.append("check passed: current run matches the baseline")
+    elif not violations:
+        lines.append(f"check passed with {len(warnings)} warning(s)")
+    elif warn_only:
+        lines.append(
+            f"check FAILED with {len(violations)} violation(s) "
+            "(warn-only: exit 0)"
+        )
+    else:
+        lines.append(f"check FAILED with {len(violations)} violation(s)")
+    return "\n".join(lines)

@@ -43,6 +43,9 @@ class TraceSummary:
     tasks_fallback: int = 0
     #: worker trace files whose tail had to be discarded mid-record
     traces_truncated: int = 0
+    #: per-worker ``worker_metrics`` records: worker index -> its
+    #: sub-result counts, for the load-balance (skew) line
+    workers: dict[int, dict] = field(default_factory=dict)
     #: per-phase timing from the run_end record (may be empty when the
     #: run died before completing)
     phases: dict[str, dict[str, float]] = field(default_factory=dict)
@@ -55,12 +58,31 @@ class TraceSummary:
             return None
         return self.revisits_performed / self.revisits_considered
 
+    @property
+    def worker_skew(self) -> dict | None:
+        """Load-balance summary over ``worker_metrics`` records:
+        min/max/mean executions per worker task and the imbalance ratio
+        (max/mean; 1.0 = perfectly even shards)."""
+        if not self.workers:
+            return None
+        executions = [w.get("executions", 0) for w in self.workers.values()]
+        mean = sum(executions) / len(executions)
+        return {
+            "tasks": len(executions),
+            "min_executions": min(executions),
+            "max_executions": max(executions),
+            "mean_executions": round(mean, 3),
+            "imbalance": round(max(executions) / mean, 3) if mean else 1.0,
+        }
+
     def as_dict(self) -> dict:
         out = dict(vars(self))
         out["revisits_rejected"] = dict(self.revisits_rejected)
         out["phases"] = dict(self.phases)
+        out["workers"] = {k: dict(v) for k, v in self.workers.items()}
         rate = self.revisit_acceptance
         out["revisit_acceptance"] = None if rate is None else round(rate, 4)
+        out["worker_skew"] = self.worker_skew
         return out
 
 
@@ -110,6 +132,15 @@ def summarize_records(records: Iterable[dict]) -> TraceSummary:
             s.tasks_fallback += 1
         elif t == "trace_truncated":
             s.traces_truncated += 1
+        elif t == "worker_metrics":
+            worker = rec.get("worker")
+            if worker is not None:
+                s.workers[worker] = {
+                    "executions": rec.get("executions", 0),
+                    "blocked": rec.get("blocked", 0),
+                    "errors": rec.get("errors", 0),
+                    "elapsed": rec.get("elapsed"),
+                }
         elif t == "run_end":
             s.phases = rec.get("phases", {}) or {}
             s.elapsed = rec.get("elapsed")
@@ -172,6 +203,14 @@ def format_summary(s: TraceSummary) -> str:
     if s.traces_truncated:
         lines.append(
             f"  traces   : {s.traces_truncated} worker trace(s) truncated"
+        )
+    skew = s.worker_skew
+    if skew is not None:
+        lines.append(
+            f"  skew     : {skew['tasks']} tasks, executions "
+            f"min={skew['min_executions']} max={skew['max_executions']} "
+            f"mean={skew['mean_executions']} "
+            f"(imbalance {skew['imbalance']}x)"
         )
     if s.truncated:
         lines.append("truncated  : yes (a search limit was hit)")

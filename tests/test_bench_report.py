@@ -14,6 +14,42 @@ class TestRowsToMarkdown:
         assert "| sb(2) | tso | hmc | 4 | 0 | 0 |" in lines[2]
         assert "duplicates=0" in lines[2]
 
+    def test_profiler_columns(self):
+        # uninstrumented rows show `-`; instrumented rows aggregate
+        # self-times into the branch/revisit/checks/relations columns
+        phases = {
+            "rf_enumeration": 0.2,
+            "co_placement": 0.1,
+            "revisit": 0.05,
+            "check:coherence": 0.3,
+            "check:axiom:tso": 0.2,
+            "relation:po": 0.15,
+        }
+        rows = [
+            Row("sb(2)", "tso", "hmc", 4, 0, 0, 0.01, {"duplicates": 0}),
+            Row("sb(2)", "tso", "hmc", 4, 0, 0, 0.01, {"phases": phases}),
+        ]
+        lines = _rows_to_markdown(rows)
+        for header in ("branch (s)", "revisit (s)", "checks (s)", "relations (s)"):
+            assert header in lines[0]
+        assert "| - | - | - | - |" in lines[2]
+        assert "| 0.300 | 0.050 | 0.500 | 0.150 |" in lines[3]
+        # phases don't leak into the extra column once they have columns
+        assert "phases" not in lines[3]
+
+    def test_manifest_in_provenance_comment(self):
+        import repro.bench.report as report
+
+        saved_headers = report._HEADERS
+        report._HEADERS = {}
+        stream = io.StringIO()
+        try:
+            report.generate(stream, manifest_path="run-manifest.json")
+        finally:
+            report._HEADERS = saved_headers
+        first = stream.getvalue().splitlines()[0]
+        assert "run manifest: run-manifest.json" in first
+
 
 class TestT1ToMarkdown:
     def test_matrix_shape(self):

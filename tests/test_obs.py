@@ -283,12 +283,38 @@ class TestProgress:
         rep.tick()          # due
         assert rep.beats == 1
 
-    def test_finish_silent_when_no_beats(self):
+    def test_finish_emits_final_line_even_without_beats(self):
+        # a run short enough to finish inside one interval still gets
+        # its one summary line (previously finish() was silent here)
         stream = io.StringIO()
         rep = ProgressReporter(every_graphs=100, every_seconds=None, stream=stream)
         rep.tick()
-        rep.finish()
-        assert stream.getvalue() == ""
+        rep.finish(executions=1)
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 1
+        assert "done" in lines[0] and "executions=1" in lines[0]
+
+    def test_progress_env_cadence(self, monkeypatch):
+        from repro.obs.progress import PROGRESS_ENV, parse_progress_spec
+
+        assert parse_progress_spec("500") == (500, None)
+        assert parse_progress_spec("2s") == (None, 2.0)
+        assert parse_progress_spec("1000,5s") == (1000, 5.0)
+        assert parse_progress_spec("5s 1000") == (1000, 5.0)
+        with pytest.raises(ValueError):
+            parse_progress_spec("abc")
+        with pytest.raises(ValueError):
+            parse_progress_spec("-3")
+        monkeypatch.setenv(PROGRESS_ENV, "2")
+        stream = io.StringIO()
+        rep = ProgressReporter(stream=stream)
+        assert rep.every_graphs == 2 and rep.every_seconds is None
+        for i in range(4):
+            rep.tick()
+        assert rep.beats == 2
+        # explicit arguments win over the environment
+        rep = ProgressReporter(every_graphs=7, stream=stream)
+        assert rep.every_graphs == 7
 
     def test_explorer_ticks_progress(self):
         stream = io.StringIO()
@@ -427,7 +453,10 @@ class TestBenchTelemetry:
             blocked=0,
             errors=0,
             time=0.1,
-            extra={"duplicates": 0, "phases": {"replay": 1.0}},
+            extra={"duplicates": 0, "phases": {"check:coherence": 1.0}},
         )
         text = "\n".join(_rows_to_markdown([row]))
-        assert "time: replay 100%" in text
+        # per-phase self-times surface as dedicated columns now
+        assert "checks (s)" in text
+        assert "| 1.000 |" in text
+        assert "duplicates=0" in text

@@ -273,6 +273,88 @@ class TestParallelEquivalence:
         assert "jobs" not in result.meta
 
 
+class TestWorkerMetricsMerge:
+    """Worker-side registries must not be lost: their snapshots merge
+    into the coordinator's registry, reproducing the serial counters."""
+
+    def run_observed(self, program, model, jobs):
+        from repro.obs import Observer
+
+        obs = Observer()
+        if jobs is None:
+            result = Explorer(
+                program,
+                model,
+                ExplorationOptions(stop_on_error=False),
+                observer=obs,
+            ).run()
+        else:
+            result = verify_parallel(
+                program,
+                model,
+                ExplorationOptions(stop_on_error=False),
+                observer=obs,
+                jobs=jobs,
+            )
+        return result, obs.metrics.snapshot()
+
+    def test_merged_counters_match_serial(self):
+        program = sb_n(3)
+        serial_res, serial_snap = self.run_observed(program, "tso", None)
+        parallel_res, parallel_snap = self.run_observed(program, "tso", 2)
+        assert parallel_res.meta.get("tasks", 0) > 0  # workers really ran
+        assert parallel_res.executions == serial_res.executions
+        # subtree tasks partition the serial DFS, so the merged hook
+        # counters (memo hits, fail counts) reproduce the serial run's
+        assert parallel_snap["counters"] == serial_snap["counters"]
+        # histograms carry the same population (bucket-exact)
+        for name, hist in serial_snap["histograms"].items():
+            merged = parallel_snap["histograms"][name]
+            assert merged["count"] == hist["count"], name
+            assert merged["buckets"] == hist["buckets"], name
+            assert merged["min"] == hist["min"], name
+            assert merged["max"] == hist["max"], name
+
+    def test_worker_skew_meta(self):
+        result, _ = self.run_observed(sb_n(3), "tso", 2)
+        skew = result.meta.get("worker_skew")
+        assert skew is not None
+        assert skew["tasks"] == result.meta["tasks"]
+        assert skew["min_executions"] <= skew["max_executions"]
+        assert skew["imbalance"] >= 1.0
+
+    def test_unobserved_parallel_collects_nothing(self):
+        result = verify_parallel(
+            sb_n(3),
+            "tso",
+            ExplorationOptions(stop_on_error=False),
+            jobs=2,
+        )
+        assert result.executions == 8
+        assert "worker_skew" not in result.meta
+
+    def test_worker_metrics_trace_records(self, tmp_path):
+        from repro.obs import Observer, summarize_file
+
+        trace_path = str(tmp_path / "run.jsonl")
+        obs = Observer.to_file(trace_path)
+        verify_parallel(
+            sb_n(3),
+            "tso",
+            ExplorationOptions(stop_on_error=False),
+            observer=obs,
+            jobs=2,
+        )
+        obs.close()
+        summary = summarize_file(trace_path)
+        assert summary.workers  # one record per completed subtree task
+        skew = summary.worker_skew
+        assert skew is not None and skew["tasks"] == len(summary.workers)
+        assert sum(
+            w["executions"] + w["blocked"] for w in summary.workers.values()
+        ) >= summary.executions
+
+
 @pytest.mark.slow
 class TestLitmusCorpusEquivalence:
     """The acceptance bar: jobs=N matches serial on every litmus test
