@@ -32,7 +32,7 @@ for title, program, model, fence in JOBS:
         f"  before: {'SAFE' if broken.ok else 'BROKEN'} "
         f"({len(broken.errors)} violating executions)"
     )
-    result = synthesize_fences(program, model, fence, max_fences=2)
+    result = synthesize_fences(program, model, fence=fence, max_fences=2)
     print(f"  {result.summary()}")
     if result.repaired is not None and not result.already_safe:
         check = verify(result.repaired, model, stop_on_error=False)

@@ -2,7 +2,9 @@
 
 Reproduces the shape of the paper's headline comparison table on the
 store-buffering family: the number of *states* each technique explores
-for the same verification question.
+for the same verification question.  Every engine runs through the
+uniform backend registry (``repro.backends``); baseline-specific
+counters (trace counts and the like) land in ``result.meta``.
 
 Run with::
 
@@ -11,52 +13,31 @@ Run with::
 
 import time
 
-from repro import verify
-from repro.baselines import (
-    explore_dpor,
-    explore_interleavings,
-    explore_store_buffers,
-)
+from repro import ExplorationOptions
+from repro.backends import get_backend
 from repro.bench.workloads import sb_n
+
+OPTIONS = ExplorationOptions(stop_on_error=False)
+
+ROWS = (
+    ("HMC (graphs)", "hmc", "sc"),
+    ("interleavings", "interleaving", "sc"),
+    ("sleep-set DPOR", "dpor", "sc"),
+    ("HMC (graphs)", "hmc", "tso"),
+    ("store-buffer machine", "storebuffer", "tso"),
+)
 
 print(f"{'n':>2s} {'technique':22s} {'model':5s} {'states':>8s} {'time':>8s}")
 for n in (2, 3):
     program = sb_n(n)
-
-    t0 = time.perf_counter()
-    hmc_sc = verify(program, "sc", stop_on_error=False)
-    print(
-        f"{n:2d} {'HMC (graphs)':22s} {'sc':5s} "
-        f"{hmc_sc.executions:8d} {time.perf_counter() - t0:7.3f}s"
-    )
-
-    t0 = time.perf_counter()
-    il = explore_interleavings(program)
-    print(
-        f"{n:2d} {'interleavings':22s} {'sc':5s} "
-        f"{il.traces:8d} {time.perf_counter() - t0:7.3f}s"
-    )
-
-    t0 = time.perf_counter()
-    dp = explore_dpor(program)
-    print(
-        f"{n:2d} {'sleep-set DPOR':22s} {'sc':5s} "
-        f"{dp.traces:8d} {time.perf_counter() - t0:7.3f}s"
-    )
-
-    t0 = time.perf_counter()
-    hmc_tso = verify(program, "tso", stop_on_error=False)
-    print(
-        f"{n:2d} {'HMC (graphs)':22s} {'tso':5s} "
-        f"{hmc_tso.executions:8d} {time.perf_counter() - t0:7.3f}s"
-    )
-
-    t0 = time.perf_counter()
-    op = explore_store_buffers(program, "tso")
-    print(
-        f"{n:2d} {'store-buffer machine':22s} {'tso':5s} "
-        f"{op.traces:8d} {time.perf_counter() - t0:7.3f}s"
-    )
+    for label, backend, model in ROWS:
+        t0 = time.perf_counter()
+        result = get_backend(backend).run(program, model, OPTIONS)
+        states = result.meta.get("traces", result.executions)
+        print(
+            f"{n:2d} {label:22s} {model:5s} "
+            f"{states:8d} {time.perf_counter() - t0:7.3f}s"
+        )
     print()
 
 print("HMC explores one state per consistent execution graph; the")

@@ -13,43 +13,113 @@ POWER).  Quickstart::
     p.observe(a, b)
 
     print(verify(p.build(), "tso").summary())
+
+This module is the **one public API surface**: everything an
+application needs — verification, litmus verdicts, model comparison,
+fence synthesis, batched suites, ``.cat`` model loading — is importable
+from ``repro`` directly, and ``tests/test_api_surface.py`` pins the
+exact export list.  Submodules remain importable for power users
+(``repro.suite``, ``repro.obs``, ``repro.backends``, ...), but any
+name starting with an underscore, and any submodule name not
+re-exported here, is internal by convention and may change without
+notice.  See docs/API.md for the full reference and the migration
+guide from pre-façade imports.
 """
 
+# the façade: entry points ----------------------------------------------
 from .core import (
+    Estimate,
     ExplorationOptions,
     Explorer,
     VerificationResult,
     count_executions,
     estimate_explorations,
+    resolve_options,
     verify,
 )
-from .core.compare import compare_models
-from .core.repair import synthesize_fences
+from .core.compare import ModelComparison, compare_models
+from .core.repair import RepairResult, synthesize_fences
+
+# programs and models ---------------------------------------------------
 from .events import FenceKind, MemOrder
 from .lang import Program, ProgramBuilder
-from .models import MemoryModel, all_models, get_model, model_names
+from .models import (
+    MemoryModel,
+    all_models,
+    get_model,
+    load_cat,
+    model_names,
+)
+
+# litmus tests ----------------------------------------------------------
+from .litmus import (
+    LitmusTest,
+    LitmusVerdict,
+    all_litmus_tests,
+    get_litmus,
+    litmus_names,
+    parse_litmus,
+    run_litmus,
+)
+
+# batched suites --------------------------------------------------------
+from .suite import (
+    SuiteResult,
+    SuiteTask,
+    TaskResult,
+    litmus_matrix,
+    litmus_task,
+    program_task,
+    run_suite,
+)
+
+# observability ---------------------------------------------------------
 from .obs import Observer, ProgressReporter
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "ExplorationOptions",
-    "compare_models",
+    # verification
+    "verify",
+    "count_executions",
     "estimate_explorations",
+    "compare_models",
     "synthesize_fences",
     "Explorer",
-    "FenceKind",
-    "MemOrder",
-    "MemoryModel",
-    "Observer",
+    "ExplorationOptions",
+    "resolve_options",
+    "VerificationResult",
+    "ModelComparison",
+    "RepairResult",
+    "Estimate",
+    # programs and models
     "Program",
     "ProgramBuilder",
-    "ProgressReporter",
-    "VerificationResult",
-    "all_models",
-    "count_executions",
+    "MemOrder",
+    "FenceKind",
+    "MemoryModel",
     "get_model",
+    "load_cat",
     "model_names",
-    "verify",
+    "all_models",
+    # litmus
+    "LitmusTest",
+    "LitmusVerdict",
+    "run_litmus",
+    "get_litmus",
+    "litmus_names",
+    "all_litmus_tests",
+    "parse_litmus",
+    # suites
+    "run_suite",
+    "SuiteTask",
+    "SuiteResult",
+    "TaskResult",
+    "litmus_task",
+    "program_task",
+    "litmus_matrix",
+    # observability
+    "Observer",
+    "ProgressReporter",
     "__version__",
 ]

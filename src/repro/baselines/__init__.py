@@ -5,8 +5,9 @@ explicit-state hashing, and operational store-buffer machines
 
 .. deprecated::
     The ``explore_*``/``brute_force`` functions re-exported here are
-    thin deprecated wrappers kept for backwards compatibility.  New
-    code selects engines uniformly through the backend registry::
+    thin deprecated wrappers kept for backwards compatibility and
+    **will be removed in repro 2.0**.  New code selects engines
+    uniformly through the backend registry::
 
         from repro.backends import get_backend
 
@@ -33,7 +34,8 @@ from .storebuffer import StoreBufferResult
 def _deprecated(name: str, backend: str, impl):
     def wrapper(*args, **kwargs):
         warnings.warn(
-            f"repro.baselines.{name} is deprecated; use "
+            f"repro.baselines.{name} is deprecated and will be removed "
+            f"in repro 2.0; use "
             f"repro.backends.get_backend({backend!r}).run(...) instead",
             DeprecationWarning,
             stacklevel=2,

@@ -31,6 +31,13 @@
     hmc runs diff 20260807 20260808      # compare two stored runs
     hmc runs check --baseline benchmarks/baseline.json --warn-only
                                          # CI regression gate
+    hmc suite run --models sc,tso,ra --jobs 4 --save-run
+                                         # litmus corpus x models through
+                                         # one pool, results cached
+    hmc suite run --litmus SB --litmus MP --models sc --force
+    hmc suite list                       # stored suite manifests
+    hmc suite diff 20260807 20260808     # verdict/count drift
+    hmc suite check --baseline suite.json --warn-only
 """
 
 from __future__ import annotations
@@ -178,7 +185,11 @@ def _cmd_litmus(args) -> int:
     model = _resolve_model(args)
     if model is None:
         return 2
-    overrides = {} if args.jobs is None else {"jobs": args.jobs}
+    overrides = {}
+    if args.jobs is not None:
+        overrides["jobs"] = args.jobs
+    if args.task_timeout is not None:
+        overrides["task_timeout"] = args.task_timeout
     failures = 0
     for name in names:
         test = get_litmus(name)
@@ -327,7 +338,12 @@ def _cmd_compare(args) -> int:
     right = args.right if right_file is None else _load_cat_model(right_file)
     if left is None or right is None:
         return 2
-    comparison = compare_models(program, left, right)
+    overrides = {}
+    if args.jobs is not None:
+        overrides["jobs"] = args.jobs
+    if args.task_timeout is not None:
+        overrides["task_timeout"] = args.task_timeout
+    comparison = compare_models(program, left, right, **overrides)
     print(comparison.summary())
     if args.witness and comparison.witnesses:
         outcome, witness = next(iter(sorted(comparison.witnesses.items())))
@@ -344,7 +360,7 @@ def _cmd_repair(args) -> int:
         return 2
     fence = FenceKind(args.fence)
     result = synthesize_fences(
-        program, args.model, fence, max_fences=args.max_fences
+        program, args.model, fence=fence, max_fences=args.max_fences
     )
     print(result.summary())
     return 0 if result.placements is not None else 1
@@ -406,6 +422,7 @@ def _cmd_runs(args) -> int:
     import json
 
     from .obs import (
+        RUN_MANIFEST_KIND,
         RunStore,
         check_manifest,
         diff_manifests,
@@ -413,7 +430,8 @@ def _cmd_runs(args) -> int:
         format_diff,
     )
 
-    store = RunStore(args.dir)
+    # suite manifests live in the same store; `hmc suite` lists those
+    store = RunStore(args.dir, kind=RUN_MANIFEST_KIND)
 
     def load(ref: str) -> dict | None:
         try:
@@ -491,6 +509,147 @@ def _cmd_runs(args) -> int:
     return 0
 
 
+def _cmd_suite(args) -> int:
+    """`hmc suite run|list|diff|check` — batched suite execution."""
+    import json
+
+    from .obs import SUITE_MANIFEST_KIND, RunStore, format_check
+    from .suite import (
+        build_suite_manifest,
+        check_suite,
+        diff_suites,
+        format_suite_diff,
+        litmus_matrix,
+        run_suite,
+    )
+
+    store = RunStore(
+        getattr(args, "dir", None) or getattr(args, "runs_dir", None),
+        kind=SUITE_MANIFEST_KIND,
+    )
+
+    def load(ref: str) -> dict | None:
+        try:
+            return store.load(ref)
+        except (OSError, ValueError) as exc:
+            print(str(exc), file=sys.stderr)
+            return None
+
+    if args.suite_command == "run":
+        models: list = [
+            m.strip() for m in args.models.split(",") if m.strip()
+        ]
+        if args.model_file:
+            cat = _load_cat_model(args.model_file)
+            if cat is None:
+                return 2
+            models.append(cat)
+        if not models:
+            print("no models selected", file=sys.stderr)
+            return 2
+        tests = args.litmus if args.litmus else None
+        try:
+            tasks = litmus_matrix(tests, models=models)
+        except KeyError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        cache = False if args.no_cache else args.cache_dir
+        observer = _observer_from_args(args)
+        try:
+            suite = run_suite(
+                tasks,
+                jobs=args.jobs,
+                cache=cache,
+                force=args.force,
+                rerun_failed=args.rerun_failed,
+                task_timeout=args.task_timeout,
+                observer=observer if observer is not None else NULL_OBSERVER,
+            )
+        finally:
+            if observer is not None:
+                observer.close()
+        manifest = build_suite_manifest(
+            suite, command=" ".join(sys.argv[1:]) if sys.argv[1:] else None
+        )
+        if args.json:
+            print(json.dumps(manifest, indent=2, sort_keys=True))
+        else:
+            print(suite.summary())
+        if args.stats and observer is not None:
+            from .obs import format_profile
+
+            print(format_profile(observer.metrics_snapshot()))
+        if args.save_run:
+            path = RunStore(args.runs_dir).save(manifest)
+            print(f"suite saved to {path}")
+        if args.manifest:
+            with open(args.manifest, "w") as handle:
+                json.dump(manifest, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"manifest written to {args.manifest}")
+        return 1 if suite.deviations else 0
+
+    if args.suite_command == "list":
+        try:
+            manifests = store.list_runs()
+        except (OSError, ValueError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(manifests, indent=2))
+            return 0
+        if not manifests:
+            print(f"no suites stored in {store.root}")
+            return 0
+        for m in manifests:
+            totals = m.get("totals", {})
+            print(
+                f"{m.get('run_id')}  tasks={totals.get('tasks')} "
+                f"cached={totals.get('cache_hits')} "
+                f"errors={totals.get('errors')} "
+                f"deviations={totals.get('deviations')} "
+                f"elapsed={m.get('elapsed'):.3f}s jobs={m.get('jobs')}"
+            )
+        return 0
+
+    if args.suite_command == "diff":
+        old, new = load(args.old), load(args.new)
+        if old is None or new is None:
+            return 2
+        diff = diff_suites(old, new)
+        if args.json:
+            print(json.dumps(diff, indent=2))
+        else:
+            print(format_suite_diff(diff))
+        return 0
+
+    # check
+    baseline = load(args.baseline)
+    if baseline is None:
+        return 2
+    if args.run is not None:
+        current = load(args.run)
+    else:
+        current = store.latest()
+        if current is None:
+            print(
+                f"no suites stored in {store.root} (run "
+                "`suite run ... --save-run` first, or pass a manifest "
+                "path)",
+                file=sys.stderr,
+            )
+            return 2
+    if current is None:
+        return 2
+    violations, warnings = check_suite(
+        current, baseline, max_ratio=args.max_ratio
+    )
+    print(format_check(violations, warnings, warn_only=args.warn_only))
+    if violations and not args.warn_only:
+        return 1
+    return 0
+
+
 def _cmd_experiment(args) -> int:
     fn = ALL_EXPERIMENTS.get(args.name)
     if fn is None:
@@ -537,6 +696,9 @@ def build_parser() -> argparse.ArgumentParser:
     litmus.add_argument("--model", default="sc", choices=model_names())
     litmus.add_argument("--model-file", metavar="PATH", help=model_file_help)
     litmus.add_argument("--jobs", type=int, default=None, help=jobs_help)
+    litmus.add_argument(
+        "--task-timeout", type=float, default=None, help=task_timeout_help
+    )
 
     bench = sub.add_parser("bench", help="run one benchmark workload")
     bench.add_argument("family", help="workload family (e.g. sb, ainc, ticket-lock)")
@@ -640,6 +802,10 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="alias for --right-file (matches verify/litmus)",
     )
+    compare.add_argument("--jobs", type=int, default=None, help=jobs_help)
+    compare.add_argument(
+        "--task-timeout", type=float, default=None, help=task_timeout_help
+    )
     compare.add_argument("--witness", action="store_true")
 
     repair = sub.add_parser("repair", help="synthesise fences to fix a workload")
@@ -675,6 +841,137 @@ def build_parser() -> argparse.ArgumentParser:
     trace_summary.add_argument("path", help="trace file written by --trace-out")
     trace_summary.add_argument(
         "--json", action="store_true", help="emit the summary as JSON"
+    )
+
+    suite = sub.add_parser(
+        "suite",
+        help="run task batches through one shared pool (see docs/PARALLEL.md)",
+    )
+    suite_sub = suite.add_subparsers(dest="suite_command", required=True)
+
+    suite_run = suite_sub.add_parser(
+        "run", help="run a litmus-by-model matrix as one batched suite"
+    )
+    suite_run.add_argument(
+        "--litmus",
+        action="append",
+        metavar="TEST",
+        help="litmus test to include (repeatable; default: whole corpus)",
+    )
+    suite_run.add_argument(
+        "--models",
+        default="sc,tso,ra",
+        metavar="M1,M2,...",
+        help="comma-separated model names (default: sc,tso,ra)",
+    )
+    suite_run.add_argument(
+        "--model-file",
+        metavar="PATH",
+        help="also include the model from a declarative .cat file",
+    )
+    suite_run.add_argument("--jobs", type=int, default=None, help=jobs_help)
+    suite_run.add_argument(
+        "--task-timeout", type=float, default=None, help=task_timeout_help
+    )
+    suite_run.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute every task, ignoring the result cache",
+    )
+    suite_run.add_argument(
+        "--rerun-failed",
+        action="store_true",
+        help="recompute only tasks whose cached result has errors "
+        "or was truncated",
+    )
+    suite_run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-addressed result cache entirely",
+    )
+    suite_run.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="result cache directory "
+        "(default: $REPRO_SUITE_CACHE_DIR or .repro/suite-cache)",
+    )
+    suite_run.add_argument(
+        "--save-run",
+        action="store_true",
+        help="save the suite manifest into the run store (see `hmc suite list`)",
+    )
+    suite_run.add_argument(
+        "--runs-dir",
+        metavar="DIR",
+        default=None,
+        help="run store directory for --save-run "
+        "(default: $REPRO_RUNS_DIR or .repro/runs)",
+    )
+    suite_run.add_argument(
+        "--manifest",
+        metavar="PATH",
+        help="also write the suite manifest JSON to PATH",
+    )
+    suite_run.add_argument(
+        "--json", action="store_true", help="emit the manifest instead of the table"
+    )
+    suite_run.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the merged per-phase profile after the table",
+    )
+
+    suite_list = suite_sub.add_parser("list", help="list stored suite manifests")
+    suite_list.add_argument(
+        "--dir",
+        metavar="DIR",
+        default=None,
+        help="run store directory (default: $REPRO_RUNS_DIR or .repro/runs)",
+    )
+    suite_list.add_argument(
+        "--json", action="store_true", help="emit the full manifests as JSON"
+    )
+
+    suite_diff = suite_sub.add_parser("diff", help="compare two stored suites")
+    suite_diff.add_argument(
+        "--dir", metavar="DIR", default=None, help="run store directory"
+    )
+    suite_diff.add_argument("old", help="baseline suite id/prefix/path")
+    suite_diff.add_argument("new", help="current suite id/prefix/path")
+    suite_diff.add_argument(
+        "--json", action="store_true", help="emit the diff as JSON"
+    )
+
+    suite_check = suite_sub.add_parser(
+        "check", help="gate a suite against a baseline manifest (CI)"
+    )
+    suite_check.add_argument(
+        "--dir", metavar="DIR", default=None, help="run store directory"
+    )
+    suite_check.add_argument(
+        "run",
+        nargs="?",
+        default=None,
+        help="suite to check (default: latest stored suite)",
+    )
+    suite_check.add_argument(
+        "--baseline",
+        required=True,
+        metavar="PATH",
+        help="baseline suite manifest (run id/prefix or path)",
+    )
+    suite_check.add_argument(
+        "--max-ratio",
+        type=float,
+        default=1.5,
+        metavar="R",
+        help="timing regression threshold (default 1.5x)",
+    )
+    suite_check.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report violations but exit 0 (CI soft gate)",
     )
 
     runs = sub.add_parser(
@@ -761,6 +1058,7 @@ _COMMANDS = {
     "cat-check": _cmd_cat_check,
     "trace-summary": _cmd_trace_summary,
     "runs": _cmd_runs,
+    "suite": _cmd_suite,
 }
 
 

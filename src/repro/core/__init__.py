@@ -1,10 +1,15 @@
 """The HMC core: stateless model checking parametric in the memory model."""
 
-from .config import ExplorationOptions
+from .config import ExplorationOptions, resolve_options
 from .report import from_dict, from_json, to_dict, to_json
 from .estimate import Estimate, estimate_explorations
 from .explorer import Explorer, count_executions, effective_jobs, verify
-from .parallel import GlobalBudget, split_frontier, verify_parallel
+from .parallel import (
+    GlobalBudget,
+    PoolSupervisor,
+    split_frontier,
+    verify_parallel,
+)
 from .result import (
     ErrorReport,
     ExecutionRecord,
@@ -22,6 +27,8 @@ __all__ = [
     "ExplorationOptions",
     "Explorer",
     "GlobalBudget",
+    "PoolSupervisor",
+    "resolve_options",
     "Stats",
     "VerificationResult",
     "backward_revisits",

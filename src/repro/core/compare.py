@@ -15,7 +15,7 @@ from ..graphs import ExecutionGraph
 from ..lang import Program
 from ..models import MemoryModel, get_model
 from ..obs import NULL_OBSERVER
-from .config import ExplorationOptions
+from .config import ExplorationOptions, resolve_options
 from .explorer import verify
 from .result import Outcome, VerificationResult
 
@@ -77,7 +77,7 @@ def _run(
     options: ExplorationOptions,
     observer,
 ) -> VerificationResult:
-    return verify(program, model, options, observer=observer)
+    return verify(program, model, options=options, observer=observer)
 
 
 def _outcome_of(program: Program, graph: ExecutionGraph) -> Outcome:
@@ -95,25 +95,25 @@ def compare_models(
     program: Program,
     left: MemoryModel | str,
     right: MemoryModel | str,
+    *,
     options: ExplorationOptions | None = None,
     observer=NULL_OBSERVER,
     **option_overrides,
 ) -> ModelComparison:
     """Diff the observable behaviours of ``program`` under two models.
 
-    Follows :func:`~repro.core.explorer.verify`'s convention: pass
-    either a full ``options`` object or keyword overrides (applied on
-    top of the comparison defaults ``stop_on_error=False,
+    Keyword-only after the model arguments; follows
+    :func:`~repro.core.explorer.verify`'s convention: pass either a
+    full ``options`` object or keyword overrides (applied on top of
+    the comparison defaults ``stop_on_error=False,
     collect_executions=True``), and optionally an ``observer`` that
     both runs report into.  E.g. ``compare_models(p, "sc", "tso",
     jobs=4)`` shards both explorations.
     """
-    if options is None:
-        defaults: dict = {"stop_on_error": False, "collect_executions": True}
-        defaults.update(option_overrides)
-        options = ExplorationOptions(**defaults)
-    elif option_overrides:
-        raise ValueError("pass either options or keyword overrides, not both")
+    options = resolve_options(
+        options, option_overrides,
+        stop_on_error=False, collect_executions=True,
+    )
     left = get_model(left) if isinstance(left, str) else left
     right = get_model(right) if isinstance(right, str) else right
     left_result = _run(program, left, options, observer)

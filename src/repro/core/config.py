@@ -86,3 +86,31 @@ class ExplorationOptions:
             raise ValueError(
                 f"task_retries must be >= 0, got {self.task_retries}"
             )
+
+
+def resolve_options(
+    options: ExplorationOptions | None,
+    overrides: dict,
+    **defaults,
+) -> ExplorationOptions:
+    """Resolve the ``options`` / keyword-override convention every
+    option-bearing entry point shares.
+
+    Callers accept either a full :class:`ExplorationOptions` object
+    *or* keyword overrides (applied on top of the entry point's
+    ``defaults``) — never both.  This helper is the single
+    implementation of that rule, so the error message and precedence
+    are identical across :func:`repro.verify`,
+    :func:`repro.count_executions`, :func:`repro.run_litmus`,
+    :func:`repro.compare_models`, :func:`repro.synthesize_fences` and
+    :func:`repro.run_suite`.
+    """
+    if options is None:
+        merged = dict(defaults)
+        merged.update(overrides)
+        return ExplorationOptions(**merged)
+    if overrides:
+        raise ValueError(
+            "pass either options=... or keyword option overrides, not both"
+        )
+    return options

@@ -33,7 +33,7 @@ from ..lang import Program, ReplayStatus, ThreadReplay, replay
 from ..models import MemoryModel, get_model
 from ..obs import NULL_OBSERVER
 from ..obs.profile import activation as profile_activation
-from .config import ExplorationOptions
+from .config import ExplorationOptions, resolve_options
 from .result import ErrorReport, ExecutionRecord, VerificationResult
 from .revisits import backward_revisits
 
@@ -481,14 +481,17 @@ def effective_jobs(options: ExplorationOptions) -> int:
 def verify(
     program: Program,
     model: MemoryModel | str = "sc",
+    *,
     options: ExplorationOptions | None = None,
     observer=NULL_OBSERVER,
     **option_overrides,
 ) -> VerificationResult:
     """Verify ``program`` against ``model`` and return the result.
 
-    Keyword overrides are forwarded to :class:`ExplorationOptions`,
-    e.g. ``verify(p, "tso", stop_on_error=False)``.  Pass a
+    Everything after the model argument is keyword-only.  Keyword
+    overrides are forwarded to :class:`ExplorationOptions`,
+    e.g. ``verify(p, "tso", stop_on_error=False)``; alternatively pass
+    a full ``options=ExplorationOptions(...)`` (never both).  Pass a
     :class:`repro.obs.Observer` to collect phase timings and a trace.
 
     With ``jobs=N`` (N > 1, or 0 for one worker per CPU) the search is
@@ -500,10 +503,7 @@ def verify(
     the budget depends on worker scheduling, unlike the serial run's
     DFS-order prefix).
     """
-    if options is None:
-        options = ExplorationOptions(**option_overrides)
-    elif option_overrides:
-        raise ValueError("pass either options or keyword overrides, not both")
+    options = resolve_options(options, option_overrides)
     if (
         effective_jobs(options) > 1
         # the merge reconciles by canonical key, so a run that
@@ -524,6 +524,7 @@ def verify(
 def count_executions(
     program: Program,
     model: MemoryModel | str = "sc",
+    *,
     options: ExplorationOptions | None = None,
     observer=NULL_OBSERVER,
     **option_overrides,
@@ -531,11 +532,11 @@ def count_executions(
     """The number of distinct consistent executions of ``program``.
 
     Accepts the same ``options``/keyword-override convention as
-    :func:`verify` and forwards ``observer`` to it, so counting runs
-    can be traced and timed like verifying ones.
+    :func:`verify` (keyword-only after the model argument) and
+    forwards ``observer`` to it, so counting runs can be traced and
+    timed like verifying ones.
     """
-    if options is None:
-        option_overrides.setdefault("stop_on_error", False)
+    options = resolve_options(options, option_overrides, stop_on_error=False)
     return verify(
-        program, model, options, observer=observer, **option_overrides
+        program, model, options=options, observer=observer
     ).executions

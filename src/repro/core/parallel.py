@@ -344,10 +344,9 @@ def _trace_path(base: str | None, index: int, attempt: int) -> str | None:
 
 @dataclass
 class _TaskState:
-    """Coordinator-side bookkeeping for one subtree task."""
+    """Coordinator-side bookkeeping for one supervised pool task."""
 
     index: int
-    prefix: ExecutionGraph
     #: attempts submitted so far (the next attempt number)
     attempts: int = 0
     #: failures observed (exception, lost worker, timeout)
@@ -383,42 +382,65 @@ def _settled_pids(pool, processes: int, wait: float = 1.0):
     return _live_pids(pool)
 
 
-class _Supervisor:
-    """AsyncResult-based dispatch with crash/hang detection and retry.
+class PoolSupervisor:
+    """Reusable supervised process-pool engine: AsyncResult-based
+    dispatch with crash/hang detection, bounded retries, and a serial
+    fallback list.
 
-    Replaces the old bare ``imap_unordered`` loop: every task is an
-    ``apply_async`` handle polled by the coordinator, so the three
-    failure modes a pool is blind to become recoverable events —
+    Both the subtree-parallel explorer (:func:`verify_parallel`) and
+    the batch suite engine (:mod:`repro.suite`) run their work through
+    one of these, so the PR-3 fault semantics — timeout, retry, budget,
+    graceful degradation — hold identically for a single sharded
+    verification and for an N-task suite sharing one pool.
+
+    Work is described, not owned: callers pass a picklable worker
+    function plus a mapping ``index -> payload factory``; the factory
+    is called with the attempt number so retries can build fresh
+    payloads (e.g. per-attempt trace paths).  Completed values are
+    handed to ``on_result(index, value)``, which returns True to stop
+    dispatch (stop-on-error); the supervisor stores no results itself.
+
+    Every task is an ``apply_async`` handle polled by the coordinator,
+    so the three failure modes a bare pool is blind to become
+    recoverable events —
 
     * a worker that **raises** surfaces through ``AsyncResult.get`` and
       the task is resubmitted;
     * a worker that is **killed** (OOM, SIGKILL) is noticed via the
       pool's worker pids changing; its task's result would never
-      arrive, so all outstanding tasks are resubmitted (they are pure,
-      duplicates are ignored — first completion per index wins);
+      arrive, so all outstanding tasks are resubmitted (they must be
+      pure — duplicates are ignored, first completion per index wins);
     * a worker that **hangs** past ``task_timeout`` is detected by
       deadline; the pool is torn down (the only way to reclaim the
       wedged slot) and rebuilt, and the outstanding tasks resubmitted.
 
-    A task failing more than ``task_retries`` times is handed back to
-    the caller for serial re-exploration in the coordinator.
+    A task failing more than ``task_retries`` times lands on
+    :attr:`fallback` for the caller to re-run serially in-process.
     """
 
-    def __init__(self, ctx, jobs, program, model_spec, options, trace_base, budget, observer):
+    def __init__(
+        self,
+        ctx,
+        processes: int,
+        *,
+        task_timeout: float | None = None,
+        task_retries: int = 2,
+        initializer=None,
+        initargs: tuple = (),
+        observer=NULL_OBSERVER,
+    ) -> None:
         self.ctx = ctx
-        self.jobs = jobs
-        self.program = program
-        self.model_spec = model_spec
-        self.options = options
-        self.trace_base = trace_base
-        self.budget = budget
+        self.processes = processes
+        self.task_timeout = task_timeout
+        self.task_retries = task_retries
+        self.initializer = initializer
+        self.initargs = initargs
         self.obs = observer
-        self.collect_metrics = observer.enabled
-        self.results: dict[int, VerificationResult] = {}
-        self.snapshots: dict[int, dict] = {}
-        self.winning_paths: dict[int, str] = {}
+        #: task indices whose retries were exhausted (caller re-runs
+        #: these serially); cleared when the run stopped early instead
         self.fallback: list[int] = []
         self.stopped = False
+        self.cancelled = 0
         self.acct = {
             "tasks_failed": 0,
             "tasks_retried": 0,
@@ -427,16 +449,18 @@ class _Supervisor:
         }
         self.states: dict[int, _TaskState] = {}
         self.pool = None
-        self.processes = 0
         self._known_pids = None
+        self._fn = None
+        self._payloads: dict = {}
+        self._on_result = None
 
     # -- pool lifecycle ---------------------------------------------------
 
     def _new_pool(self):
         self.pool = self.ctx.Pool(
             processes=self.processes,
-            initializer=_init_worker,
-            initargs=(self.budget,),
+            initializer=self.initializer,
+            initargs=self.initargs,
         )
         self._known_pids = _settled_pids(self.pool, self.processes)
 
@@ -450,28 +474,19 @@ class _Supervisor:
 
     def _submit(self, state: _TaskState) -> None:
         attempt = state.attempts
-        task: SubtreeTask = (
-            state.index,
-            attempt,
-            self.program,
-            self.model_spec,
-            self.options,
-            state.prefix,
-            _trace_path(self.trace_base, state.index, attempt),
-            self.collect_metrics,
-        )
-        state.handles.append(self.pool.apply_async(_run_subtree, (task,)))
+        payload = self._payloads[state.index](attempt)
+        state.handles.append(self.pool.apply_async(self._fn, (payload,)))
         state.attempts = attempt + 1
         state.deadline = (
             None
-            if self.options.task_timeout is None
-            else time.monotonic() + self.options.task_timeout
+            if self.task_timeout is None
+            else time.monotonic() + self.task_timeout
         )
 
     def _retry_or_fallback(self, state: _TaskState, outstanding: set) -> None:
         """After a failure was charged: resubmit, or escalate to the
-        coordinator's serial fallback once retries are exhausted."""
-        if state.failures > self.options.task_retries:
+        caller's serial fallback once retries are exhausted."""
+        if state.failures > self.task_retries:
             outstanding.discard(state.index)
             self.fallback.append(state.index)
             return
@@ -484,11 +499,18 @@ class _Supervisor:
 
     # -- the supervision loop --------------------------------------------
 
-    def run(self, prefixes: list[ExecutionGraph]) -> None:
-        self.states = {
-            i: _TaskState(index=i, prefix=p) for i, p in enumerate(prefixes)
-        }
-        self.processes = min(self.jobs, len(self.states))
+    def run(self, fn, payloads: dict, on_result) -> None:
+        """Dispatch every payload through one pool and supervise it.
+
+        ``fn`` is the picklable worker entry point, called as
+        ``fn(payloads[index](attempt))``; ``on_result(index, value)``
+        consumes each first-completed value and returns True to cancel
+        the remaining tasks.
+        """
+        self._fn = fn
+        self._payloads = dict(payloads)
+        self._on_result = on_result
+        self.states = {i: _TaskState(index=i) for i in self._payloads}
         outstanding = set(self.states)
         self._new_pool()
         try:
@@ -519,7 +541,7 @@ class _Supervisor:
                 continue
             progressed = True
             try:
-                _, attempt, result, snapshot = done.get()
+                value = done.get()
             except BaseException as exc:
                 state.handles.remove(done)
                 state.failures += 1
@@ -534,13 +556,7 @@ class _Supervisor:
                 self._retry_or_fallback(state, outstanding)
                 continue
             outstanding.discard(index)
-            self.results[index] = result
-            if snapshot is not None:
-                self.snapshots[index] = snapshot
-            path = _trace_path(self.trace_base, index, attempt)
-            if path is not None:
-                self.winning_paths[index] = path
-            if self.options.stop_on_error and result.errors:
+            if self._on_result(index, value):
                 self.stopped = True
                 return True
         return progressed
@@ -566,9 +582,9 @@ class _Supervisor:
                     "task_timeout",
                     task=index,
                     attempt=state.attempts - 1,
-                    timeout=self.options.task_timeout,
+                    timeout=self.task_timeout,
                 )
-            if state.failures > self.options.task_retries:
+            if state.failures > self.task_retries:
                 outstanding.discard(index)
                 self.fallback.append(index)
         # terminate() reclaims the hung slot but also kills the innocent
@@ -594,9 +610,9 @@ class _Supervisor:
         The pool replaces a dead worker transparently but the task it
         was running would never report back; which task that was is not
         observable, so every outstanding task is charged one failure
-        and resubmitted (subtree tasks are pure — the duplicate attempt
-        of a task that was actually fine is harmless, its first
-        completion wins).
+        and resubmitted (tasks must be pure — the duplicate attempt of
+        a task that was actually fine is harmless, its first completion
+        wins).
         """
         current = _live_pids(self.pool)
         if current is None or self._known_pids is None:
@@ -688,14 +704,54 @@ def verify_parallel(
     trace_base = _worker_trace_base(obs)
     supervisor = None
     cancelled = 0
+    worker_results: dict[int, VerificationResult] = {}
+    snapshots: dict[int, dict] = {}
+    winning_paths: dict[int, str] = {}
     if not aborted and frontier:
         if obs.trace_enabled:
             obs.emit("parallel_dispatch", tasks=len(frontier), jobs=jobs)
-        supervisor = _Supervisor(
-            ctx, jobs, program, _model_spec(model), worker_options,
-            trace_base, budget, obs,
+        supervisor = PoolSupervisor(
+            ctx,
+            processes=min(jobs, len(frontier)),
+            task_timeout=options.task_timeout,
+            task_retries=options.task_retries,
+            initializer=_init_worker,
+            initargs=(budget,),
+            observer=obs,
         )
-        supervisor.run(frontier)
+        collect_metrics = obs.enabled
+        model_spec = _model_spec(model)
+
+        def _payload(index: int, prefix: ExecutionGraph):
+            def make(attempt: int) -> SubtreeTask:
+                return (
+                    index,
+                    attempt,
+                    program,
+                    model_spec,
+                    worker_options,
+                    prefix,
+                    _trace_path(trace_base, index, attempt),
+                    collect_metrics,
+                )
+
+            return make
+
+        def _on_result(index: int, value) -> bool:
+            _, attempt, result, snapshot = value
+            worker_results[index] = result
+            if snapshot is not None:
+                snapshots[index] = snapshot
+            path = _trace_path(trace_base, index, attempt)
+            if path is not None:
+                winning_paths[index] = path
+            return bool(options.stop_on_error and result.errors)
+
+        supervisor.run(
+            _run_subtree,
+            {i: _payload(i, p) for i, p in enumerate(frontier)},
+            _on_result,
+        )
         cancelled = supervisor.cancelled
         # graceful degradation: subtrees whose tasks kept failing are
         # re-explored serially right here, so the run still returns a
@@ -711,27 +767,26 @@ def verify_parallel(
             fb_obs = NULL_OBSERVER
             if obs.enabled:
                 fb_obs = Observer(trace=obs.trace if obs.trace_enabled else None)
-            supervisor.results[index] = Explorer(
+            worker_results[index] = Explorer(
                 program,
                 model,
                 worker_options,
                 observer=fb_obs,
-                root=supervisor.states[index].prefix,
+                root=frontier[index],
                 budget=budget,
             ).run()
             if fb_obs.enabled:
-                supervisor.snapshots[index] = fb_obs.metrics_snapshot()
-            if options.stop_on_error and supervisor.results[index].errors:
+                snapshots[index] = fb_obs.metrics_snapshot()
+            if options.stop_on_error and worker_results[index].errors:
                 cancelled += len(supervisor.fallback) - position - 1
                 break
-    worker_results = supervisor.results if supervisor is not None else {}
     for index in sorted(worker_results):
         merged = merged.merge(worker_results[index])
     if supervisor is not None and obs.enabled:
         # fold worker-side counters/histograms into the coordinator's
         # registry (phases already arrived through result.phase_times)
-        for index in sorted(supervisor.snapshots):
-            obs.metrics.merge_snapshot(supervisor.snapshots[index])
+        for index in sorted(snapshots):
+            obs.metrics.merge_snapshot(snapshots[index])
         skew = _worker_skew(worker_results)
         if skew is not None:
             merged.meta["worker_skew"] = skew
@@ -747,7 +802,7 @@ def verify_parallel(
                     elapsed=round(sub.elapsed, 6),
                 )
     if supervisor is not None and trace_base is not None:
-        _fold_worker_traces(obs, sorted(supervisor.winning_paths.items()))
+        _fold_worker_traces(obs, sorted(winning_paths.items()))
     merged.elapsed = time.perf_counter() - start
     merged.truncated = (
         merged.truncated
@@ -770,7 +825,7 @@ def verify_parallel(
             "tasks": len(frontier) if not aborted else 0,
             "tasks_cancelled": cancelled,
             "tasks_fallback": sum(
-                1 for i in supervisor.fallback if i in supervisor.results
+                1 for i in supervisor.fallback if i in worker_results
             )
             if supervisor is not None
             else 0,

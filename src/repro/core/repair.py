@@ -23,7 +23,7 @@ from ..events import FenceKind, MemOrder
 from ..lang import Fence, Program, Stmt
 from ..models import MemoryModel, get_model
 from ..obs import NULL_OBSERVER
-from .config import ExplorationOptions
+from .config import ExplorationOptions, resolve_options
 from .explorer import verify
 
 #: an insertion point: fence goes before statement ``index`` of thread
@@ -89,7 +89,7 @@ def _is_safe(
     options: ExplorationOptions,
     observer,
 ) -> bool:
-    return verify(program, model, options, observer=observer).ok
+    return verify(program, model, options=options, observer=observer).ok
 
 
 def candidate_points(program: Program) -> list[FencePlacement]:
@@ -105,6 +105,7 @@ def candidate_points(program: Program) -> list[FencePlacement]:
 def synthesize_fences(
     program: Program,
     model: MemoryModel | str,
+    *,
     fence: FenceKind = FenceKind.SYNC,
     max_fences: int | None = None,
     options: ExplorationOptions | None = None,
@@ -114,18 +115,17 @@ def synthesize_fences(
     """Find a minimum-cardinality set of fence insertions making
     ``program`` assertion-safe under ``model``.
 
-    Follows :func:`~repro.core.explorer.verify`'s convention: each
-    candidate verification uses ``options`` if given, otherwise the
-    synthesis defaults ``stop_on_error=True, max_events=10_000`` with
-    any keyword ``option_overrides`` applied (``max_events=...`` and
+    Keyword-only after the model argument; follows
+    :func:`~repro.core.explorer.verify`'s convention: each candidate
+    verification uses ``options`` if given, otherwise the synthesis
+    defaults ``stop_on_error=True, max_events=10_000`` with any
+    keyword ``option_overrides`` applied (``max_events=...`` and
     ``jobs=...`` are the useful knobs).
     """
-    if options is None:
-        defaults: dict = {"stop_on_error": True, "max_events": 10_000}
-        defaults.update(option_overrides)
-        options = ExplorationOptions(**defaults)
-    elif option_overrides:
-        raise ValueError("pass either options or keyword overrides, not both")
+    options = resolve_options(
+        options, option_overrides,
+        stop_on_error=True, max_events=10_000,
+    )
     model = get_model(model) if isinstance(model, str) else model
     result = RepairResult(
         program=program.name,

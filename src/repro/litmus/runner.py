@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core import ExplorationOptions, VerificationResult, verify
+from ..core.config import resolve_options
 from ..models import MemoryModel, get_model
 from ..obs import NULL_OBSERVER
 from .catalog import LitmusTest
@@ -25,40 +26,56 @@ class LitmusVerdict:
         return f"{self.test:16s} {self.model:9s} {word:9s} ({self.executions} executions)"
 
 
+#: the exploration defaults litmus evaluation needs (the probe is a
+#: predicate over *all* consistent executions, so the search must not
+#: stop early and must keep the graphs); repro.suite reuses these so
+#: batched verdicts are bit-identical to individual run_litmus calls
+LITMUS_DEFAULTS: dict = {"stop_on_error": False, "collect_executions": True}
+
+
 def run_litmus(
     test: LitmusTest,
     model: MemoryModel | str,
+    *,
     options: ExplorationOptions | None = None,
     observer=NULL_OBSERVER,
     **option_overrides,
 ) -> LitmusVerdict:
     """Explore the test exhaustively and evaluate its probe.
 
+    Keyword-only after the model argument; accepts the same
+    ``options``/keyword-override convention as :func:`repro.verify`.
     Routed through :func:`~repro.core.explorer.verify`, so passing
     ``jobs=N`` (or setting ``REPRO_JOBS``) shards the exploration.
     """
     model = get_model(model) if isinstance(model, str) else model
-    if options is None:
-        defaults: dict = {"stop_on_error": False, "collect_executions": True}
-        defaults.update(option_overrides)
-        options = ExplorationOptions(**defaults)
-    elif option_overrides:
-        raise ValueError("pass either options or keyword overrides, not both")
+    options = resolve_options(options, option_overrides, **LITMUS_DEFAULTS)
     if not options.collect_executions:
         raise ValueError("litmus evaluation needs collect_executions")
-    result = verify(test.program, model, options, observer=observer)
-    observed = _probe_observed(test, result)
+    result = verify(test.program, model, options=options, observer=observer)
+    return verdict_from_result(test, model.name, result)
+
+
+def verdict_from_result(
+    test: LitmusTest, model_name: str, result: VerificationResult
+) -> LitmusVerdict:
+    """Evaluate ``test``'s probe over an exploration ``result``.
+
+    Factored out of :func:`run_litmus` so the batch engine
+    (:mod:`repro.suite`) can run explorations through its shared pool
+    and still produce verdicts identical to individual calls.
+    """
     return LitmusVerdict(
         test=test.name,
-        model=model.name,
-        observed=observed,
+        model=model_name,
+        observed=probe_observed(test, result),
         executions=result.executions,
         duplicates=result.duplicates,
         elapsed=result.elapsed,
     )
 
 
-def _probe_observed(test: LitmusTest, result: VerificationResult) -> bool:
+def probe_observed(test: LitmusTest, result: VerificationResult) -> bool:
     from ..graphs import final_state
     from ..lang import replay
 

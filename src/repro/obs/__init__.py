@@ -20,6 +20,9 @@ from .profile import format_profile, memo_rates
 from .progress import ProgressMeter, ProgressReporter, parse_progress_spec
 from .runstore import (
     MANIFEST_SCHEMA_VERSION,
+    MANIFEST_SCHEMAS,
+    RUN_MANIFEST_KIND,
+    SUITE_MANIFEST_KIND,
     RunStore,
     build_manifest,
     check_manifest,
@@ -58,6 +61,9 @@ __all__ = [
     "memo_rates",
     "to_prometheus",
     "MANIFEST_SCHEMA_VERSION",
+    "MANIFEST_SCHEMAS",
+    "RUN_MANIFEST_KIND",
+    "SUITE_MANIFEST_KIND",
     "RunStore",
     "build_manifest",
     "check_manifest",

@@ -31,6 +31,19 @@ import time
 
 MANIFEST_SCHEMA_VERSION = 1
 
+#: manifest kind for single verification runs
+RUN_MANIFEST_KIND = "repro-run-manifest"
+
+#: manifest kind for batched suite runs (written by repro.suite)
+SUITE_MANIFEST_KIND = "repro-suite-manifest"
+
+#: every manifest kind the store reads, with the schema version this
+#: build understands for each
+MANIFEST_SCHEMAS = {
+    RUN_MANIFEST_KIND: MANIFEST_SCHEMA_VERSION,
+    SUITE_MANIFEST_KIND: 1,
+}
+
 #: environment override for the store location
 RUNS_DIR_ENV = "REPRO_RUNS_DIR"
 
@@ -71,7 +84,7 @@ def build_manifest(
     }
     manifest = {
         "schema": MANIFEST_SCHEMA_VERSION,
-        "kind": "repro-run-manifest",
+        "kind": RUN_MANIFEST_KIND,
         "created": created,
         "created_iso": time.strftime(
             "%Y-%m-%dT%H:%M:%S", time.localtime(created)
@@ -117,14 +130,22 @@ def manifest_run_id(manifest: dict) -> str:
 
 
 class RunStore:
-    """A flat directory of run manifests."""
+    """A flat directory of manifests.
 
-    def __init__(self, root: str | None = None) -> None:
+    The store holds both single-run manifests (``--save-run``) and
+    suite manifests (:mod:`repro.suite`) side by side; ``kind`` filters
+    the listing commands, while ``load`` accepts any known kind unless
+    pinned.
+    """
+
+    def __init__(self, root: str | None = None, kind: str | None = None) -> None:
         self.root = (
             root
             if root is not None
             else os.environ.get(RUNS_DIR_ENV) or DEFAULT_RUNS_DIR
         )
+        #: when set, list_runs/latest only surface this manifest kind
+        self.kind = kind
 
     # -- writing ---------------------------------------------------------
 
@@ -154,12 +175,18 @@ class RunStore:
         )
 
     def list_runs(self) -> list[dict]:
-        """All stored manifests, oldest first."""
-        return [self.load(run_id) for run_id in self.run_ids()]
+        """All stored manifests of this store's kind, oldest first."""
+        manifests = []
+        for run_id in self.run_ids():
+            manifest = self.load(run_id)
+            if self.kind is None or manifest.get("kind") == self.kind:
+                manifests.append(manifest)
+        return manifests
 
     def latest(self) -> dict | None:
-        ids = self.run_ids()
-        return self.load(ids[-1]) if ids else None
+        """The newest stored manifest of this store's kind."""
+        manifests = self.list_runs()
+        return manifests[-1] if manifests else None
 
     def load(self, ref: str) -> dict:
         """Load a manifest by run id, unambiguous id prefix, or path.
@@ -184,13 +211,15 @@ class RunStore:
             path = os.path.join(self.root, f"{matches[0]}.json")
         with open(path) as handle:
             manifest = json.load(handle)
-        if manifest.get("kind") != "repro-run-manifest":
+        kind = manifest.get("kind")
+        if kind not in MANIFEST_SCHEMAS:
             raise ValueError(f"{path} is not a run manifest")
+        expected = MANIFEST_SCHEMAS[kind]
         schema = manifest.get("schema")
-        if schema != MANIFEST_SCHEMA_VERSION:
+        if schema != expected:
             raise ValueError(
                 f"{path}: unsupported manifest schema {schema!r} "
-                f"(this build reads {MANIFEST_SCHEMA_VERSION})"
+                f"(this build reads {expected} for {kind})"
             )
         return manifest
 

@@ -1,0 +1,201 @@
+"""Content-addressed result cache for batched suite runs.
+
+A suite task's verdict is a pure function of the program, the memory
+model, the result-relevant exploration options and the checker's code
+version — so its result can be cached under the hash of exactly those
+inputs and served on any later run with identical content.  Scheduling
+knobs (``jobs``, ``oversubscription``, ``task_timeout``,
+``task_retries``) and collection toggles never change what a
+deterministic exploration *finds*, so they are excluded from the key:
+serial and parallel runs of the same task share one cache entry.
+
+Entries are flat JSON files (``<key>.json``) holding the
+:func:`repro.core.report.to_dict` rendering of the result plus the
+litmus verdict fields, written atomically.  The code version is part
+of the key, so a new checker release simply misses the old entries —
+no invalidation pass is ever needed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+
+from ..core.config import ExplorationOptions
+from ..core.report import to_dict
+
+#: bump when the entry payload layout changes (part of the key, so a
+#: bump orphans old entries rather than misreading them)
+CACHE_SCHEMA_VERSION = 1
+
+#: the ``kind`` tag inside every entry file
+CACHE_ENTRY_KIND = "repro-suite-cache-entry"
+
+#: environment override for the cache directory
+CACHE_DIR_ENV = "REPRO_SUITE_CACHE_DIR"
+
+DEFAULT_CACHE_DIR = os.path.join(".repro", "suite-cache")
+
+#: option fields that only steer *how* the search runs, never what it
+#: finds — excluded from the cache key
+SCHEDULING_FIELDS = frozenset(
+    {
+        "jobs",
+        "oversubscription",
+        "task_timeout",
+        "task_retries",
+        "collect_keys",
+        "collect_executions",
+    }
+)
+
+
+def _code_version() -> str:
+    # late import: repro/__init__ imports repro.suite
+    from .. import __version__
+
+    return __version__
+
+
+def program_fingerprint(program) -> str:
+    """A stable content string for a program: its frozen dataclass
+    tree (enums and primitives) reprs deterministically within one
+    code version, and the code version is hashed alongside."""
+    return repr((program.name, program.threads, program.observables))
+
+
+def model_fingerprint(model) -> list:
+    """The model's identity for hashing: declarative models are their
+    source text; built-in models are their import path (their axioms
+    only change with the code version, which is hashed separately)."""
+    spec = getattr(model, "spec", None)
+    source = getattr(spec, "source", None)
+    if source is not None:
+        return ["cat", model.name, source]
+    cls = type(model)
+    return ["class", model.name, f"{cls.__module__}.{cls.__qualname__}"]
+
+
+def options_fingerprint(options: ExplorationOptions) -> dict:
+    """The result-relevant option fields, sorted for stable hashing."""
+    fields = {
+        name: value
+        for name, value in vars(options).items()
+        if name not in SCHEDULING_FIELDS
+    }
+    return dict(sorted(fields.items()))
+
+
+def task_key(
+    program,
+    model,
+    options: ExplorationOptions,
+    *,
+    kind: str = "program",
+    probe: str | None = None,
+) -> str:
+    """The content hash identifying one suite task's result."""
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "code": _code_version(),
+        "kind": kind,
+        "probe": probe,
+        "program": program_fingerprint(program),
+        "model": model_fingerprint(model),
+        "options": options_fingerprint(options),
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ResultCache:
+    """A flat directory of content-addressed suite task results."""
+
+    def __init__(self, root: str | None = None) -> None:
+        self.root = (
+            root
+            if root is not None
+            else os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+        )
+
+    def path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.json")
+
+    def keys(self) -> list[str]:
+        if not os.path.isdir(self.root):
+            return []
+        return sorted(
+            name[: -len(".json")]
+            for name in os.listdir(self.root)
+            if name.endswith(".json")
+        )
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def load(self, key: str) -> dict | None:
+        """The entry stored under ``key``, or None.  Unreadable or
+        foreign files are treated as misses, never as errors — a cache
+        must degrade to recomputation."""
+        path = self.path(key)
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("kind") != CACHE_ENTRY_KIND
+            or entry.get("schema") != CACHE_SCHEMA_VERSION
+            or entry.get("key") != key
+        ):
+            return None
+        return entry
+
+    def store(
+        self,
+        key: str,
+        result,
+        *,
+        task: dict,
+        observed: bool | None = None,
+        created: float | None = None,
+    ) -> str:
+        """Persist ``result`` (a VerificationResult) under ``key``;
+        returns the path written.  ``task`` is a small descriptive dict
+        (id/kind/program/model) kept for humans inspecting the cache;
+        the key alone addresses the entry."""
+        os.makedirs(self.root, exist_ok=True)
+        entry = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "kind": CACHE_ENTRY_KIND,
+            "key": key,
+            "created": time.time() if created is None else created,
+            "task": task,
+            "observed": observed,
+            "result": to_dict(result),
+        }
+        path = self.path(key)
+        tmp = f"{path}.tmp"
+        with open(tmp, "w") as handle:
+            json.dump(entry, handle, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+        return path
+
+    def evict(self, key: str) -> bool:
+        """Drop one entry; returns whether it existed."""
+        try:
+            os.remove(self.path(key))
+        except FileNotFoundError:
+            return False
+        return True
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were removed."""
+        removed = 0
+        for key in self.keys():
+            removed += self.evict(key)
+        return removed

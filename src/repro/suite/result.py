@@ -1,0 +1,283 @@
+"""Suite aggregates: per-task results, the suite-level rollup, and the
+versioned suite manifest with diff/check gating.
+
+A :class:`SuiteResult` is the batch analogue of a single
+:class:`~repro.core.result.VerificationResult`: one
+:class:`TaskResult` per (program × model) task, plus pool fault
+accounting and cache statistics.  ``build_suite_manifest`` renders it
+to the pure-JSON manifest stored (kind
+:data:`~repro.obs.runstore.SUITE_MANIFEST_KIND`) in the same run store
+as single-run manifests; ``diff_suites``/``check_suite`` mirror the
+run-manifest gating — verdict or count changes are violations, timing
+drift is a warning.
+"""
+
+from __future__ import annotations
+
+import time
+
+from dataclasses import dataclass, field
+
+from ..core.result import VerificationResult
+from ..litmus.runner import LitmusVerdict
+from ..obs.runstore import SUITE_MANIFEST_KIND
+
+#: schema carried by suite manifests (registered in
+#: :data:`repro.obs.runstore.MANIFEST_SCHEMAS`)
+SUITE_MANIFEST_SCHEMA = 1
+
+
+@dataclass
+class TaskResult:
+    """One suite task's outcome and how it was obtained."""
+
+    task_id: str
+    kind: str  #: "litmus" or "program"
+    program: str
+    model: str
+    key: str  #: content-address of the result (cache key)
+    cached: bool  #: served from the result cache, not recomputed
+    shards: int  #: pool jobs the task ran as (0 = cached, 1 = whole)
+    result: VerificationResult
+    verdict: LitmusVerdict | None = None
+    expected: bool | None = None  #: literature expectation, when known
+
+    @property
+    def ok(self) -> bool:
+        return self.result.ok
+
+    @property
+    def observed(self) -> bool | None:
+        return self.verdict.observed if self.verdict is not None else None
+
+    @property
+    def deviates(self) -> bool:
+        """Does a known literature expectation disagree with us?"""
+        return (
+            self.expected is not None
+            and self.observed is not None
+            and self.observed != self.expected
+        )
+
+    def row(self) -> str:
+        mark = "cache" if self.cached else f"x{self.shards}"
+        if self.verdict is not None:
+            status = "observed" if self.verdict.observed else "forbidden"
+            if self.deviates:
+                status += " (DEVIATES)"
+        else:
+            status = "ok" if self.ok else f"{len(self.result.errors)} errors"
+        return (
+            f"{self.task_id:<32} {status:<20} "
+            f"{self.result.executions:>8} exec  {mark:>6}  "
+            f"{self.result.elapsed:8.3f}s"
+        )
+
+
+@dataclass
+class SuiteResult:
+    """The aggregate outcome of one suite run."""
+
+    tasks: list[TaskResult]
+    jobs: int
+    elapsed: float
+    pool_tasks: int = 0  #: jobs actually dispatched to the pool
+    acct: dict = field(default_factory=dict)  #: supervisor fault counters
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for t in self.tasks if t.cached)
+
+    @property
+    def cache_misses(self) -> int:
+        return len(self.tasks) - self.cache_hits
+
+    @property
+    def errors(self) -> int:
+        return sum(len(t.result.errors) for t in self.tasks)
+
+    @property
+    def deviations(self) -> list[TaskResult]:
+        return [t for t in self.tasks if t.deviates]
+
+    @property
+    def ok(self) -> bool:
+        """Every task explored cleanly and no verdict deviates from a
+        known expectation (program tasks: no assertion violations)."""
+        return not self.deviations and all(
+            t.ok for t in self.tasks if t.kind != "litmus"
+        )
+
+    def task(self, task_id: str) -> TaskResult:
+        for t in self.tasks:
+            if t.task_id == task_id:
+                return t
+        raise KeyError(task_id)
+
+    def summary(self) -> str:
+        lines = [t.row() for t in self.tasks]
+        lines.append(
+            f"{len(self.tasks)} tasks, {self.cache_hits} cached, "
+            f"{self.errors} errors, {len(self.deviations)} deviations, "
+            f"jobs={self.jobs}, {self.elapsed:.3f}s"
+        )
+        faults = {k: v for k, v in self.acct.items() if v}
+        if faults:
+            lines.append(
+                "faults: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(faults.items()))
+            )
+        return "\n".join(lines)
+
+
+def build_suite_manifest(
+    suite: SuiteResult,
+    command: str | None = None,
+    created: float | None = None,
+) -> dict:
+    """The pure-JSON manifest for one suite run, stored alongside
+    single-run manifests (distinguished by ``kind``)."""
+    created = time.time() if created is None else created
+    tasks = []
+    for t in suite.tasks:
+        tasks.append(
+            {
+                "id": t.task_id,
+                "kind": t.kind,
+                "program": t.program,
+                "model": t.model,
+                "key": t.key,
+                "cached": t.cached,
+                "shards": t.shards,
+                "observed": t.observed,
+                "expected": t.expected,
+                "ok": t.ok,
+                "executions": t.result.executions,
+                "blocked": t.result.blocked,
+                "duplicates": t.result.duplicates,
+                "errors": len(t.result.errors),
+                "truncated": t.result.truncated,
+                "elapsed": round(t.result.elapsed, 6),
+            }
+        )
+    return {
+        "schema": SUITE_MANIFEST_SCHEMA,
+        "kind": SUITE_MANIFEST_KIND,
+        "created": created,
+        "created_iso": time.strftime(
+            "%Y-%m-%dT%H:%M:%S", time.localtime(created)
+        ),
+        "command": command,
+        "jobs": suite.jobs,
+        "elapsed": round(suite.elapsed, 6),
+        "tasks": tasks,
+        "totals": {
+            "tasks": len(suite.tasks),
+            "cache_hits": suite.cache_hits,
+            "pool_tasks": suite.pool_tasks,
+            "errors": suite.errors,
+            "deviations": len(suite.deviations),
+            "executions": sum(t.result.executions for t in suite.tasks),
+            "blocked": sum(t.result.blocked for t in suite.tasks),
+        },
+        "acct": dict(suite.acct),
+    }
+
+
+def _tasks_by_id(manifest: dict) -> dict:
+    return {t["id"]: t for t in manifest.get("tasks", [])}
+
+
+#: per-task manifest fields whose change is a *verdict* change
+_EXACT_FIELDS = ("observed", "ok", "executions", "blocked", "errors")
+
+
+def diff_suites(a: dict, b: dict) -> dict:
+    """A structured comparison of two suite manifests (old, new)."""
+    at, bt = _tasks_by_id(a), _tasks_by_id(b)
+    added = sorted(set(bt) - set(at))
+    removed = sorted(set(at) - set(bt))
+    changes: dict = {}
+    for task_id in sorted(set(at) & set(bt)):
+        old, new = at[task_id], bt[task_id]
+        fields = {}
+        for name in _EXACT_FIELDS + ("duplicates",):
+            if old.get(name) != new.get(name):
+                fields[name] = {"old": old.get(name), "new": new.get(name)}
+        if fields:
+            changes[task_id] = fields
+    return {
+        "added": added,
+        "removed": removed,
+        "changes": changes,
+        "cache_hits": {
+            "old": a.get("totals", {}).get("cache_hits"),
+            "new": b.get("totals", {}).get("cache_hits"),
+        },
+        "elapsed": {"old": a.get("elapsed"), "new": b.get("elapsed")},
+    }
+
+
+def format_suite_diff(diff: dict) -> str:
+    lines = []
+    for task_id in diff["removed"]:
+        lines.append(f"- {task_id} (removed)")
+    for task_id in diff["added"]:
+        lines.append(f"+ {task_id} (added)")
+    for task_id, fields in diff["changes"].items():
+        parts = ", ".join(
+            f"{name} {delta['old']!r} -> {delta['new']!r}"
+            for name, delta in sorted(fields.items())
+        )
+        lines.append(f"! {task_id}: {parts}")
+    if not lines:
+        lines.append("suites agree on every task")
+    old_e, new_e = diff["elapsed"]["old"], diff["elapsed"]["new"]
+    if old_e and new_e:
+        lines.append(f"elapsed {old_e:.3f}s -> {new_e:.3f}s")
+    return "\n".join(lines)
+
+
+def check_suite(
+    current: dict,
+    baseline: dict,
+    max_ratio: float = 1.5,
+    min_seconds: float = 0.05,
+) -> tuple[list[str], list[str]]:
+    """Gate ``current`` against ``baseline``: returns (violations,
+    warnings).  Verdict flips and exact-count mismatches on common
+    tasks are violations, as are baseline tasks the current run lost;
+    new tasks, duplicate drift and timing regressions are warnings."""
+    violations: list[str] = []
+    warnings: list[str] = []
+    base, cur = _tasks_by_id(baseline), _tasks_by_id(current)
+    for task_id in sorted(set(base) - set(cur)):
+        violations.append(f"{task_id}: present in baseline, missing now")
+    for task_id in sorted(set(cur) - set(base)):
+        warnings.append(f"{task_id}: new task (not in baseline)")
+    for task_id in sorted(set(base) & set(cur)):
+        old, new = base[task_id], cur[task_id]
+        for name in _EXACT_FIELDS:
+            if old.get(name) != new.get(name):
+                violations.append(
+                    f"{task_id}: {name} changed "
+                    f"{old.get(name)!r} -> {new.get(name)!r}"
+                )
+        if old.get("duplicates") != new.get("duplicates"):
+            warnings.append(
+                f"{task_id}: duplicates changed "
+                f"{old.get('duplicates')!r} -> {new.get('duplicates')!r}"
+            )
+    old_e = baseline.get("elapsed") or 0.0
+    new_e = current.get("elapsed") or 0.0
+    if (
+        old_e >= min_seconds
+        and new_e >= min_seconds
+        and new_e > old_e * max_ratio
+    ):
+        warnings.append(
+            f"suite elapsed regressed {old_e:.3f}s -> {new_e:.3f}s "
+            f"(> {max_ratio:.2f}x)"
+        )
+    return violations, warnings

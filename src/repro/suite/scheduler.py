@@ -1,0 +1,476 @@
+"""The batch execution engine: one persistent pool for a whole suite.
+
+``run_suite`` takes an arbitrary mix of tasks — litmus tests, programs,
+declarative ``.cat`` models, per-task options — and drives them all
+through **one** :class:`~repro.core.parallel.PoolSupervisor`, instead
+of spinning a pool up and down per verification the way N individual
+``verify(jobs=...)`` calls would.  Scheduling is task-level:
+
+* Each task is first looked up in the content-addressed
+  :class:`~repro.suite.cache.ResultCache`; hits are served without
+  touching the pool (``--force`` recomputes, ``--rerun-failed``
+  re-runs only tasks whose cached result has errors or truncation).
+* Cache misses are sized with the paper's Knuth-style exploration
+  estimator (:func:`~repro.core.estimate.estimate_explorations`) and
+  dispatched **longest-expected-first**, so a big task never starts
+  last and leaves the pool idling behind it.
+* A task whose estimate crosses ``shard_threshold`` (and whose options
+  permit it: no execution budget, deduplication on) is split into
+  subtree shards via :func:`~repro.core.parallel.split_frontier`, the
+  same mechanism ``verify(jobs=N)`` uses; small tasks run whole, one
+  task per worker.  All shards and whole tasks share the same pool and
+  the same PR-3 fault semantics (timeout, retry, serial fallback).
+
+Results are finalised *as they complete* — merged (for sharded tasks),
+probe-evaluated (for litmus tasks) with
+:func:`~repro.litmus.runner.verdict_from_result` so batched verdicts
+are bit-identical to individual :func:`~repro.litmus.run_litmus`
+calls, and written to the cache immediately, so an interrupted suite
+resumes where it stopped on the next run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+from dataclasses import dataclass, field, replace
+
+from ..core.config import ExplorationOptions, resolve_options
+from ..core.estimate import estimate_explorations
+from ..core.explorer import Explorer, effective_jobs
+from ..core.parallel import (
+    PoolSupervisor,
+    _maybe_inject_fault,
+    _model_spec,
+    split_frontier,
+)
+from ..core.report import from_dict
+from ..core.result import VerificationResult
+from ..lang import Program
+from ..litmus.catalog import LitmusTest, get_litmus, litmus_names
+from ..litmus.expectations import allowed
+from ..litmus.runner import (
+    LITMUS_DEFAULTS,
+    LitmusVerdict,
+    verdict_from_result,
+)
+from ..models import MemoryModel, get_model
+from ..obs import NULL_OBSERVER, Observer
+from .cache import ResultCache, task_key
+from .result import SuiteResult, TaskResult
+
+#: estimated executions above which a task is worth sharding across
+#: the pool rather than running whole on one worker
+DEFAULT_SHARD_THRESHOLD = 2000
+
+#: random walks per task for the scheduling estimate (ordering only,
+#: so a rough figure is plenty)
+DEFAULT_ESTIMATE_WALKS = 6
+
+
+@dataclass(frozen=True)
+class SuiteTask:
+    """One unit of suite work: a program under a model with options.
+
+    Build these with :func:`program_task`, :func:`litmus_task` or
+    :func:`litmus_matrix` rather than directly — the constructors
+    resolve model names and apply the right option defaults.
+    """
+
+    program: Program
+    model: MemoryModel
+    options: ExplorationOptions
+    kind: str = "program"  #: "program" or "litmus"
+    probe: LitmusTest | None = None  #: set iff kind == "litmus"
+
+    @property
+    def id(self) -> str:
+        name = self.probe.name if self.probe is not None else self.program.name
+        return f"{name}:{self.model.name}"
+
+
+def program_task(
+    program: Program,
+    model: MemoryModel | str,
+    *,
+    options: ExplorationOptions | None = None,
+    **option_overrides,
+) -> SuiteTask:
+    """A plain verification task.  Defaults ``stop_on_error=False`` so
+    the suite reports full counts (compare/bench semantics); pass
+    ``stop_on_error=True`` for fail-fast."""
+    model = get_model(model) if isinstance(model, str) else model
+    options = resolve_options(options, option_overrides, stop_on_error=False)
+    return SuiteTask(program=program, model=model, options=options)
+
+
+def litmus_task(
+    test: LitmusTest | str,
+    model: MemoryModel | str,
+    *,
+    options: ExplorationOptions | None = None,
+    **option_overrides,
+) -> SuiteTask:
+    """A litmus verdict task, with :func:`~repro.litmus.run_litmus`'s
+    option defaults so batched verdicts match individual calls."""
+    if isinstance(test, str):
+        test = get_litmus(test)
+    model = get_model(model) if isinstance(model, str) else model
+    options = resolve_options(options, option_overrides, **LITMUS_DEFAULTS)
+    if not options.collect_executions:
+        raise ValueError("litmus evaluation needs collect_executions")
+    return SuiteTask(
+        program=test.program,
+        model=model,
+        options=options,
+        kind="litmus",
+        probe=test,
+    )
+
+
+def litmus_matrix(
+    tests=None,
+    models=("sc", "tso", "ra"),
+    *,
+    options: ExplorationOptions | None = None,
+    **option_overrides,
+) -> list[SuiteTask]:
+    """The full ``tests × models`` grid as suite tasks (every catalog
+    test when ``tests`` is None)."""
+    names = litmus_names() if tests is None else list(tests)
+    grid = []
+    for entry in names:
+        test = entry if isinstance(entry, LitmusTest) else get_litmus(entry)
+        for model in models:
+            grid.append(
+                litmus_task(
+                    test, model, options=options, **option_overrides
+                )
+            )
+    return grid
+
+
+# -- worker side -----------------------------------------------------------
+
+
+def _run_suite_job(payload):
+    """Pool entry point: run one whole task or one subtree shard.
+
+    ``payload`` is ``(job, attempt, program, model_spec, options,
+    prefix, collect_metrics)``; ``prefix`` None means explore the whole
+    program.  Returns ``(result, metrics snapshot | None)``.
+    """
+    job, attempt, program, model_spec, options, prefix, collect = payload
+    _maybe_inject_fault(job, attempt)
+    observer = Observer() if collect else NULL_OBSERVER
+    try:
+        result = Explorer(
+            program, model_spec, options, observer=observer, root=prefix
+        ).run()
+    finally:
+        observer.close()
+    snapshot = observer.metrics_snapshot() if collect else None
+    return result, snapshot
+
+
+# -- coordinator side ------------------------------------------------------
+
+
+@dataclass
+class _Plan:
+    """A cache-miss task scheduled for execution."""
+
+    pos: int  #: index into the caller's task list
+    task: SuiteTask
+    key: str
+    estimate: float = 0.0
+    prefixes: list | None = None  #: subtree shards; None = run whole
+    partial: VerificationResult | None = None  #: accumulated while splitting
+    pieces: dict = field(default_factory=dict)  #: shard index -> result
+    remaining: int = 0  #: outstanding pool jobs
+
+
+def _expected(task: SuiteTask) -> bool | None:
+    if task.kind != "litmus" or task.probe is None:
+        return None
+    try:
+        return allowed(task.probe.name, task.model.name)
+    except KeyError:
+        return None
+
+
+def _cached_task_result(
+    task: SuiteTask, key: str, entry: dict
+) -> TaskResult | None:
+    """Rebuild a TaskResult from a cache entry, or None when the entry
+    cannot serve this task (e.g. a litmus task whose entry predates
+    verdict storage)."""
+    observed = entry.get("observed")
+    if task.kind == "litmus" and not isinstance(observed, bool):
+        return None
+    result = from_dict(entry["result"])
+    verdict = None
+    if task.kind == "litmus":
+        verdict = LitmusVerdict(
+            test=task.probe.name,
+            model=task.model.name,
+            observed=observed,
+            executions=result.executions,
+            duplicates=result.duplicates,
+            elapsed=result.elapsed,
+        )
+    return TaskResult(
+        task_id=task.id,
+        kind=task.kind,
+        program=task.program.name,
+        model=task.model.name,
+        key=key,
+        cached=True,
+        shards=0,
+        result=result,
+        verdict=verdict,
+        expected=_expected(task),
+    )
+
+
+def run_suite(
+    tasks,
+    *,
+    jobs: int | None = None,
+    cache=None,
+    force: bool = False,
+    rerun_failed: bool = False,
+    task_timeout: float | None = None,
+    task_retries: int = 2,
+    observer=NULL_OBSERVER,
+    shard_threshold: int = DEFAULT_SHARD_THRESHOLD,
+    estimate_walks: int = DEFAULT_ESTIMATE_WALKS,
+    seed: int = 0,
+) -> SuiteResult:
+    """Run every task in ``tasks`` through one shared worker pool.
+
+    ``jobs`` follows :func:`~repro.core.explorer.effective_jobs`
+    resolution (None → ``REPRO_JOBS`` or serial; 0 → one per CPU).
+    ``cache`` is a :class:`ResultCache`, a directory path, None for
+    the default store (``REPRO_SUITE_CACHE_DIR`` or
+    ``.repro/suite-cache``), or False to disable caching.  ``force``
+    recomputes everything; ``rerun_failed`` recomputes only tasks whose
+    cached result has errors or was truncated.  ``task_timeout`` /
+    ``task_retries`` are the pool's PR-3 fault knobs.
+    """
+    tasks = list(tasks)
+    start = time.perf_counter()
+    jobs = effective_jobs(ExplorationOptions(jobs=jobs))
+    store = None
+    if cache is not False:
+        store = cache if isinstance(cache, ResultCache) else ResultCache(cache)
+
+    obs = observer
+    results: dict[int, TaskResult] = {}
+    plans: list[_Plan] = []
+
+    # -- cache pass -------------------------------------------------------
+    for pos, task in enumerate(tasks):
+        key = task_key(
+            task.program,
+            task.model,
+            task.options,
+            kind=task.kind,
+            probe=task.probe.name if task.probe is not None else None,
+        )
+        served = None
+        if store is not None and not force:
+            entry = store.load(key)
+            if entry is not None:
+                served = _cached_task_result(task, key, entry)
+                if served is not None and rerun_failed and (
+                    served.result.errors or served.result.truncated
+                ):
+                    served = None
+        if served is not None:
+            results[pos] = served
+        else:
+            plans.append(_Plan(pos=pos, task=task, key=key))
+
+    def _finalize(plan: _Plan, shards: int) -> None:
+        task = plan.task
+        merged = plan.partial
+        for shard in sorted(plan.pieces):
+            piece = plan.pieces[shard]
+            merged = piece if merged is None else merged.merge(piece)
+        if merged is None:  # pragma: no cover - every plan has >=1 piece
+            raise RuntimeError(f"suite task {task.id} produced no result")
+        if not task.options.collect_keys:
+            merged.execution_records = []
+        verdict = None
+        if task.kind == "litmus":
+            verdict = verdict_from_result(task.probe, task.model.name, merged)
+        if store is not None:
+            store.store(
+                plan.key,
+                merged,
+                task={
+                    "id": task.id,
+                    "kind": task.kind,
+                    "program": task.program.name,
+                    "model": task.model.name,
+                },
+                observed=verdict.observed if verdict is not None else None,
+            )
+        results[plan.pos] = TaskResult(
+            task_id=task.id,
+            kind=task.kind,
+            program=task.program.name,
+            model=task.model.name,
+            key=plan.key,
+            cached=False,
+            shards=shards,
+            result=merged,
+            verdict=verdict,
+            expected=_expected(task),
+        )
+
+    # -- size and shard the misses ---------------------------------------
+    for plan in plans:
+        task = plan.task
+        plan.estimate = estimate_explorations(
+            task.program, task.model, walks=estimate_walks, seed=seed
+        ).mean
+        opts = task.options
+        shardable = (
+            jobs > 1
+            and plan.estimate >= shard_threshold
+            and opts.max_executions is None
+            and opts.max_explored is None
+            and opts.deduplicate is not False
+        )
+        if not shardable:
+            continue
+        split_options = replace(opts, collect_keys=True, jobs=None)
+        frontier, partial, aborted = split_frontier(
+            task.program,
+            task.model,
+            split_options,
+            target=jobs * opts.oversubscription,
+            observer=obs,
+        )
+        if aborted:
+            # a limit fired during splitting; run whole for parity with
+            # the serial semantics of that limit
+            continue
+        plan.partial = partial
+        plan.prefixes = frontier  # may be empty: split finished the search
+
+    # -- build the pool job list, longest-expected-first ------------------
+    specs: dict[int, tuple] = {}  # job index -> (plan, shard, options, prefix)
+    for plan in sorted(plans, key=lambda p: -p.estimate):
+        task = plan.task
+        if plan.prefixes is None:
+            plan.remaining = 1
+            specs[len(specs)] = (plan, 0, task.options, None)
+        else:
+            plan.remaining = len(plan.prefixes)
+            split_options = replace(
+                task.options, collect_keys=True, jobs=None
+            )
+            for shard, prefix in enumerate(plan.prefixes):
+                specs[len(specs)] = (plan, shard, split_options, prefix)
+            if not plan.prefixes:  # search completed during splitting
+                _finalize(plan, shards=1)
+
+    collect_metrics = obs.enabled
+    snapshots: list[dict] = []
+    acct: dict = {}
+    fallback: list[int] = []
+
+    def _complete(job: int, value) -> bool:
+        plan, shard, _options, _prefix = specs[job]
+        result, snapshot = value
+        if snapshot is not None:
+            snapshots.append(snapshot)
+        if shard not in plan.pieces:
+            plan.pieces[shard] = result
+            plan.remaining -= 1
+            if plan.remaining == 0:
+                _finalize(
+                    plan,
+                    shards=1 if plan.prefixes is None else len(plan.prefixes),
+                )
+        return False  # a suite never stops early: other tasks are independent
+
+    def _run_inline(job: int) -> None:
+        plan, shard, options, prefix = specs[job]
+        result = Explorer(
+            plan.task.program,
+            plan.task.model,
+            options,
+            observer=obs,
+            root=prefix,
+        ).run()
+        _complete(job, (result, None))
+
+    pool_jobs = len(specs)
+    if jobs > 1 and pool_jobs:
+        if obs.trace_enabled:
+            obs.emit("suite_dispatch", tasks=pool_jobs, jobs=jobs)
+        ctx = multiprocessing.get_context()
+        supervisor = PoolSupervisor(
+            ctx,
+            processes=min(jobs, pool_jobs),
+            task_timeout=task_timeout,
+            task_retries=task_retries,
+            observer=obs,
+        )
+
+        def _payload(job: int):
+            plan, _shard, options, prefix = specs[job]
+            model_spec = _model_spec(plan.task.model)
+
+            def make(attempt: int):
+                return (
+                    job,
+                    attempt,
+                    plan.task.program,
+                    model_spec,
+                    options,
+                    prefix,
+                    collect_metrics,
+                )
+
+            return make
+
+        supervisor.run(
+            _run_suite_job, {job: _payload(job) for job in specs}, _complete
+        )
+        acct = dict(supervisor.acct)
+        acct["tasks_fallback"] = len(supervisor.fallback)
+        for job in supervisor.fallback:
+            _run_inline(job)
+    else:
+        for job in specs:
+            _run_inline(job)
+
+    if collect_metrics:
+        for snapshot in snapshots:
+            obs.metrics.merge_snapshot(snapshot)
+
+    suite = SuiteResult(
+        tasks=[results[pos] for pos in sorted(results)],
+        jobs=jobs,
+        elapsed=time.perf_counter() - start,
+        pool_tasks=pool_jobs,
+        acct=acct,
+        meta={
+            "cache_dir": store.root if store is not None else None,
+            "forced": force,
+        },
+    )
+    if obs.trace_enabled:
+        obs.emit(
+            "suite_done",
+            tasks=len(suite.tasks),
+            cache_hits=suite.cache_hits,
+            pool_tasks=pool_jobs,
+        )
+    return suite

@@ -46,7 +46,7 @@ class TestCompare:
 
 class TestRepair:
     def test_dekker_fixed_with_two_fences(self):
-        result = synthesize_fences(dekker(False), "tso", FenceKind.MFENCE)
+        result = synthesize_fences(dekker(False), "tso", fence=FenceKind.MFENCE)
         assert result.placements is not None
         assert len(result.placements) == 2  # one per thread
         assert result.repaired is not None
@@ -54,7 +54,7 @@ class TestRepair:
 
     def test_peterson_fixed(self):
         result = synthesize_fences(
-            peterson(False), "tso", FenceKind.MFENCE, max_fences=2
+            peterson(False), "tso", fence=FenceKind.MFENCE, max_fences=2
         )
         assert result.placements is not None
         assert verify(result.repaired, "tso", stop_on_error=False).ok
@@ -83,7 +83,7 @@ class TestRepair:
 
     def test_minimality(self):
         """Dekker cannot be fixed with a single fence."""
-        result = synthesize_fences(dekker(False), "tso", FenceKind.MFENCE)
+        result = synthesize_fences(dekker(False), "tso", fence=FenceKind.MFENCE)
         singles = [c for c in result.placements or ()]
         assert len(singles) >= 2
 

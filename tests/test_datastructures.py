@@ -80,7 +80,7 @@ class TestRwLock:
         assert not verify(rw_lock(1, 1), model, stop_on_error=False).ok
 
     def test_fence_synthesis_repairs_it(self):
-        fix = synthesize_fences(rw_lock(1, 1), "imm", FenceKind.SYNC, max_fences=2)
+        fix = synthesize_fences(rw_lock(1, 1), "imm", fence=FenceKind.SYNC, max_fences=2)
         assert fix.placements is not None and len(fix.placements) == 2
         assert verify(fix.repaired, "imm", stop_on_error=False).ok
 

@@ -368,7 +368,9 @@ class TestCliSurface:
         with pytest.raises(SystemExit) as exc:
             main(["--version"])
         assert exc.value.code == 0
-        assert "1.0.0" in capsys.readouterr().out
+        from repro import __version__
+
+        assert __version__ in capsys.readouterr().out
 
     def test_verify_stats_and_trace(self, tmp_path, capsys):
         trace = tmp_path / "t.jsonl"
