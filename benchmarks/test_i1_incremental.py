@@ -1,0 +1,90 @@
+"""I1 — incremental consistency checking vs from-scratch.
+
+The claim: carrying derived-relation caches and topological-order
+certificates across graph copies cuts the consistency-check phase
+(the sum of ``check:*`` and ``relation:*`` phase self-times) by >= 2x
+on the benchmark corpus, while producing byte-identical results —
+same execution/blocked/duplicate counts and same outcome multiset.
+
+The corpus spans all five axiomatic model families the speedup must
+hold for (rc11, tso, sc, ra, imm); the aggregate is dominated by the
+larger workloads, where lineages are deep and the incremental path
+pays off most.  ``REPRO_INCREMENTAL=0`` is read per run by the
+explorer, so flipping the environment variable is the whole ablation.
+"""
+
+import os
+
+import pytest
+
+from repro import verify
+from repro.bench.workloads import ainc, barrier, fib_bench, seqlock, ticket_lock
+from repro.obs import Observer
+from repro.obs.metrics import MetricsRegistry
+
+CORPUS = [
+    ("seqlock(2,2)/rc11", seqlock(2, 2), "rc11"),
+    ("fib(3)/tso", fib_bench(3), "tso"),
+    ("ticket(3)/sc", ticket_lock(3), "sc"),
+    ("barrier(3)/ra", barrier(3), "ra"),
+    ("ainc(4)/imm", ainc(4), "imm"),
+]
+
+#: The acceptance threshold for the corpus aggregate; individual
+#: workloads may sit below it (imm's axiom work is dominated by
+#: non-acyclicity obligations on small graphs).
+AGGREGATE_SPEEDUP = 2.0
+
+
+def _run(program, model, incremental):
+    previous = os.environ.get("REPRO_INCREMENTAL")
+    os.environ["REPRO_INCREMENTAL"] = "1" if incremental else "0"
+    try:
+        observer = Observer(metrics=MetricsRegistry())
+        result = verify(program, model, observer=observer)
+    finally:
+        if previous is None:
+            del os.environ["REPRO_INCREMENTAL"]
+        else:
+            os.environ["REPRO_INCREMENTAL"] = previous
+    check_time = sum(
+        stats["self"]
+        for name, stats in result.phase_times.items()
+        if name.startswith("check:") or name.startswith("relation:")
+    )
+    identity = (
+        result.executions,
+        result.blocked,
+        result.duplicates,
+        tuple(sorted(result.outcomes.items())),
+    )
+    return check_time, identity
+
+
+def test_i1_incremental_speedup(record_rows):
+    rows = []
+    total_incremental = 0.0
+    total_scratch = 0.0
+    for name, program, model in CORPUS:
+        inc_time, inc_identity = _run(program, model, incremental=True)
+        scratch_time, scratch_identity = _run(program, model, incremental=False)
+        assert inc_identity == scratch_identity, name
+        total_incremental += inc_time
+        total_scratch += scratch_time
+        rows.append(
+            f"{name:20s} inc={1000 * inc_time:8.1f}ms "
+            f"scratch={1000 * scratch_time:8.1f}ms "
+            f"ratio={scratch_time / inc_time:4.2f}x"
+        )
+    ratio = total_scratch / total_incremental
+    rows.append(f"{'aggregate':20s} ratio={ratio:4.2f}x")
+    record_rows("I1 incremental consistency checking", rows)
+    assert ratio >= AGGREGATE_SPEEDUP, rows
+
+
+@pytest.mark.parametrize("name,program,model", CORPUS, ids=[c[0] for c in CORPUS])
+def test_i1_identical_results(name, program, model):
+    """Pure correctness leg: the two modes agree on every count."""
+    _, inc_identity = _run(program, model, incremental=True)
+    _, scratch_identity = _run(program, model, incremental=False)
+    assert inc_identity == scratch_identity

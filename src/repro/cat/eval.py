@@ -22,19 +22,26 @@ from ..events import FenceKind, FenceLabel, MemOrder
 from ..graphs import ExecutionGraph
 from ..graphs.derived import (
     co,
+    coe,
+    coi,
     dependency,
     eco,
-    external,
+    ext_rel,
     fr,
-    internal,
+    fre,
+    fri,
+    id_rel,
+    int_rel,
     po,
     po_loc,
     rf,
     rfe,
     rfi,
     rmw_pairs,
+    same_loc,
 )
-from ..relations import Relation, same
+from ..graphs.incremental import check_equal, differential_enabled
+from ..relations import Relation
 from .ast import Binary, Binding, Bracket, CatSpec, Constraint, Expr, Let, Postfix, Var
 from .errors import CatEvalError, CatTypeError
 
@@ -88,32 +95,6 @@ def _exclusive_set(graph: ExecutionGraph) -> frozenset:
     )
 
 
-def _loc_rel(graph: ExecutionGraph) -> Relation:
-    accesses = [e for e in graph.events() if graph.label(e).is_access]
-    return same(lambda e: graph.label(e).location, accesses)
-
-
-def _ext_rel(graph: ExecutionGraph) -> Relation:
-    from ..graphs.derived import same_thread
-
-    events = _events(graph)
-    return Relation(
-        (a, b)
-        for a in events
-        for b in events
-        if a != b and not same_thread(a, b)
-    )
-
-
-def _int_rel(graph: ExecutionGraph) -> Relation:
-    from ..graphs.derived import same_thread
-
-    events = _events(graph)
-    return Relation(
-        (a, b) for a in events for b in events if a != b and same_thread(a, b)
-    )
-
-
 BASE_SETS = {
     "_": lambda g: frozenset(g.events()),
     "R": lambda g: _set_of(g, lambda lab: lab.is_read),
@@ -144,17 +125,17 @@ BASE_RELATIONS = {
     "rfe": rfe,
     "rfi": rfi,
     "co": co,
-    "coe": lambda g: external(co(g)),
-    "coi": lambda g: internal(co(g)),
+    "coe": coe,
+    "coi": coi,
     "fr": fr,
-    "fre": lambda g: external(fr(g)),
-    "fri": lambda g: internal(fr(g)),
+    "fre": fre,
+    "fri": fri,
     "eco": eco,
     "rmw": rmw_pairs,
-    "loc": _loc_rel,
-    "ext": _ext_rel,
-    "int": _int_rel,
-    "id": lambda g: Relation.identity(g.events()),
+    "loc": same_loc,
+    "ext": ext_rel,
+    "int": int_rel,
+    "id": id_rel,
     "addr": lambda g: dependency(g, "a"),
     "data": lambda g: dependency(g, "d"),
     "ctrl": lambda g: dependency(g, "c"),
@@ -162,6 +143,54 @@ BASE_RELATIONS = {
 }
 
 BASE_NAMES = frozenset(BASE_SETS) | frozenset(BASE_RELATIONS)
+
+
+def _mode_member(order: MemOrder):
+    def pred(graph, ev):
+        lab = graph.label(ev)
+        if isinstance(lab, FenceLabel):
+            return lab.kind is FenceKind.C11 and lab.order is order
+        return lab.is_access and lab.order is order
+
+    return pred
+
+
+def _fence_kind_member(kind: FenceKind):
+    return lambda graph, ev: (
+        isinstance(graph.label(ev), FenceLabel) and graph.label(ev).kind is kind
+    )
+
+
+def _exclusive_member(graph, ev):
+    lab = graph.label(ev)
+    return lab.is_access and getattr(lab, "exclusive", False)
+
+
+#: per-event membership tests mirroring BASE_SETS, used by
+#: :meth:`Env.advanced` to carry memoised base sets across graph
+#: copies by testing only the events the delta log added
+_SET_MEMBERS = {
+    "_": lambda graph, ev: True,
+    "R": lambda graph, ev: graph.label(ev).is_read,
+    "W": lambda graph, ev: graph.label(ev).is_write,
+    "M": lambda graph, ev: graph.label(ev).is_access,
+    "F": lambda graph, ev: graph.label(ev).is_fence,
+    "IW": lambda graph, ev: ev.is_initial,
+    "X": _exclusive_member,
+    "RMW": _exclusive_member,
+    "RLX": _mode_member(MemOrder.RLX),
+    "ACQ": _mode_member(MemOrder.ACQ),
+    "REL": _mode_member(MemOrder.REL),
+    "ACQ_REL": _mode_member(MemOrder.ACQ_REL),
+    "SC": _mode_member(MemOrder.SC),
+    "MFENCE": _fence_kind_member(FenceKind.MFENCE),
+    "SYNC": _fence_kind_member(FenceKind.SYNC),
+    "LWSYNC": _fence_kind_member(FenceKind.LWSYNC),
+    "ISYNC": _fence_kind_member(FenceKind.ISYNC),
+    "DMB_LD": _fence_kind_member(FenceKind.DMB_LD),
+    "DMB_ST": _fence_kind_member(FenceKind.DMB_ST),
+    "C11F": _fence_kind_member(FenceKind.C11),
+}
 
 #: fixpoint iteration guard: any monotone relation definition converges
 #: in at most |universe|^2 steps (one new pair per round)
@@ -193,6 +222,31 @@ class Env:
         for let in spec.lets:
             for binding in let.bindings:
                 self._bindings[binding.name] = (let, binding)
+
+    def advanced(self, graph: ExecutionGraph, deltas, profiler=None) -> "Env":
+        """A fresh environment for ``graph`` (a descendant of this
+        env's graph) with memoised *base sets* carried over: each is
+        extended by testing only the events the delta log added.
+
+        Base relations need no seeding — they resolve through
+        :func:`~repro.graphs.derived.graph_cached`, which is already
+        incremental across copies.  ``let``-bound names are arbitrary
+        expressions and are re-evaluated on demand.
+        """
+        env = Env(graph, self.spec, profiler=profiler)
+        fresh = [d[1] for d in deltas if d[0] in ("event", "init")]
+        for name, value in self._memo.items():
+            if name in self._bindings:
+                continue
+            pred = _SET_MEMBERS.get(name)
+            if pred is None:
+                continue
+            added = [e for e in fresh if pred(graph, e)]
+            carried = value | frozenset(added) if added else value
+            if differential_enabled():
+                check_equal(f"cat-set:{name}", carried, BASE_SETS[name](graph))
+            env._memo[name] = carried
+        return env
 
     # -- name resolution -------------------------------------------------
 

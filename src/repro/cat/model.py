@@ -29,10 +29,10 @@ process pools with no registry coordination.
 from __future__ import annotations
 
 import os
-import weakref
 
 from ..events import Event
 from ..graphs import ExecutionGraph, porf_preds
+from ..graphs.incremental import incremental_enabled
 from ..models.base import MemoryModel
 from ..models.common import hardware_prefix_preds, minimal_prefix_preds
 from ..obs import NULL_OBSERVER
@@ -99,10 +99,6 @@ class CatModel(MemoryModel):
         title = spec.title or f"declarative model {self.name!r}"
         origin = f" (from {filename})" if filename else ""
         self.__doc__ = f"{title}{origin}."
-        #: graph -> (version, Env); mirrors repro.graphs.derived._CACHE
-        self._envs: "weakref.WeakKeyDictionary[ExecutionGraph, tuple]" = (
-            weakref.WeakKeyDictionary()
-        )
 
     # -- construction ----------------------------------------------------
 
@@ -120,6 +116,12 @@ class CatModel(MemoryModel):
     def env(self, graph: ExecutionGraph) -> Env:
         """The (memoised) evaluation environment for ``graph``.
 
+        Entries live in ``graph._aux`` (keyed per model), so a copied
+        graph starts out with its parent's environment: a same-version
+        entry is returned as-is, and a stale one is *advanced* through
+        the graph's delta log (base-set memos extended in place, see
+        :meth:`Env.advanced`) rather than rebuilt from nothing.
+
         When an observer is attached (one run of the explorer), the
         environment profiles its memo hits/misses and fixpoint rounds
         into the observer's registry — see :class:`Env`.
@@ -127,11 +129,20 @@ class CatModel(MemoryModel):
         obs = self._observer
         profiler = getattr(obs, "metrics", None) if obs.enabled else None
         version = graph._version
-        entry = self._envs.get(graph)
-        if entry is None or entry[0] != version or entry[1]._profiler is not profiler:
-            entry = (version, Env(graph, self.spec, profiler=profiler))
-            self._envs[graph] = entry
-        return entry[1]
+        key = ("cat-env", self)
+        entry = graph._aux.get(key)
+        if entry is not None and entry[1]._profiler is profiler:
+            if entry[0] == version:
+                return entry[1]
+            if incremental_enabled():
+                deltas = graph.deltas_since(entry[0])
+                if deltas is not None:
+                    env = entry[1].advanced(graph, deltas, profiler=profiler)
+                    graph._aux[key] = (version, env)
+                    return env
+        env = Env(graph, self.spec, profiler=profiler)
+        graph._aux[key] = (version, env)
+        return env
 
     def axiom_holds(self, graph: ExecutionGraph) -> bool:
         env = self.env(graph)

@@ -30,6 +30,7 @@ import time
 from ..events import FenceLabel, Label, ReadLabel, WriteLabel
 from ..graphs import ExecutionGraph, canonical_key, final_state
 from ..lang import Program, ReplayStatus, ThreadReplay, replay
+from ..graphs.incremental import configure_from_env
 from ..models import MemoryModel, get_model
 from ..obs import NULL_OBSERVER
 from ..obs.profile import activation as profile_activation
@@ -86,6 +87,10 @@ class Explorer:
 
     def run(self) -> VerificationResult:
         start = time.perf_counter()
+        # the environment is authoritative per run — this also makes
+        # REPRO_INCREMENTAL / REPRO_CHECK_INCREMENTAL work inside pool
+        # workers, which inherit the variables but not module state
+        configure_from_env()
         obs = self.obs
         if obs.trace_enabled:
             obs.emit(

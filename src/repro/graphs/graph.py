@@ -50,6 +50,10 @@ class ExecutionGraph:
         "_next_stamp",
         "_init_by_loc",
         "_version",
+        "_derived",
+        "_aux",
+        "_deltas",
+        "_delta_base",
         "__weakref__",
     )
 
@@ -61,12 +65,52 @@ class ExecutionGraph:
         self._stamp: dict[Event, int] = {}
         self._next_stamp = 0
         self._init_by_loc: dict[Loc, Event] = {}
-        #: bumped on every mutation; derived-relation caches key on it
+        #: monotonic lineage version: bumped on every mutation and
+        #: *inherited* by copies, so a cache entry tagged with a version
+        #: can never be mistaken for fresh after a mutate-after-copy
         self._version = 0
+        #: per-graph derived-relation cache: name -> (version, value);
+        #: handed to copies so children extend instead of recompute
+        self._derived: dict = {}
+        #: auxiliary incremental state (topological orders of the
+        #: acyclicity checker, cat evaluation environments):
+        #: key -> (version, payload); handed to copies like _derived
+        self._aux: dict = {}
+        #: typed mutation log: one record per version bump, so a cache
+        #: entry at version v is brought current by replaying
+        #: ``deltas_since(v)``.  Records are ("init", ev) for a new
+        #: initialisation write, ("event", ev) for an appended event
+        #: (its label/rf are read off the graph at replay time) and
+        #: ("co", ev) for a write's coherence insertion.
+        self._deltas: list = []
+        #: version of the oldest replayable point: the log covers
+        #: versions ``_delta_base .. _version``
+        self._delta_base = 0
         for loc in locations:
             self.ensure_location(loc)
 
     # -- basic structure ---------------------------------------------------
+
+    # -- mutation log ------------------------------------------------------
+
+    def _record_delta(self, delta: tuple) -> None:
+        self._version += 1
+        self._deltas.append(delta)
+
+    def _reset_deltas(self) -> None:
+        """Cut the log after a mutation incremental updates can't
+        describe (rf redirection, bulk construction): caches tagged
+        with older versions become unreachable by replay."""
+        self._deltas.clear()
+        self._delta_base = self._version
+
+    def deltas_since(self, version: int) -> list | None:
+        """The mutation records after ``version``, oldest first — or
+        None when the log no longer reaches back that far (including a
+        ``version`` from a different lineage)."""
+        if version < self._delta_base or version > self._version:
+            return None
+        return self._deltas[version - self._delta_base:]
 
     def ensure_location(self, loc: Loc) -> Event:
         """Make sure ``loc`` has its initialisation write; return it."""
@@ -74,7 +118,7 @@ class ExecutionGraph:
         if ev is not None:
             return ev
         ev = init_event(len(self._init_by_loc))
-        self._version += 1
+        self._record_delta(("init", ev))
         self._init_by_loc[loc] = ev
         self._labels[ev] = InitLabel(loc=loc, value=0)
         self._stamp[ev] = self._next_stamp
@@ -94,7 +138,31 @@ class ExecutionGraph:
         dup._stamp = dict(self._stamp)
         dup._next_stamp = self._next_stamp
         dup._init_by_loc = dict(self._init_by_loc)
-        dup._version = 0
+        # the child keeps the parent's lineage version and cache: its
+        # first mutation bumps past every tagged entry, and the delta
+        # log lets cached values be *extended* rather than recomputed.
+        # Cached values are immutable-by-convention, so sharing them is
+        # safe; the entry tuples themselves are replaced, never mutated.
+        dup._version = self._version
+        dup._derived = dict(self._derived)
+        dup._aux = dict(self._aux)
+        base, deltas = self._delta_base, self._deltas
+        if deltas:
+            # trim records older than the oldest cached value: nothing
+            # can ever replay from before it
+            oldest = min(
+                (entry[0] for entry in dup._derived.values()),
+                default=self._version,
+            )
+            if dup._aux:
+                oldest = min(
+                    oldest, min(entry[0] for entry in dup._aux.values())
+                )
+            if oldest > base:
+                deltas = deltas[oldest - base:]
+                base = oldest
+        dup._deltas = list(deltas)
+        dup._delta_base = base
         return dup
 
     @classmethod
@@ -132,14 +200,18 @@ class ExecutionGraph:
             if read not in graph._labels or write not in graph._labels:
                 raise GraphError(f"rf pair ({read}, {write}) not in graph")
             graph._rf[read] = write
+        # the bulk construction above bypassed the mutation log; one
+        # final bump + log reset keeps version/cache bookkeeping honest
+        graph._version += 1
+        graph._reset_deltas()
         return graph
 
     # -- event addition ------------------------------------------------------
 
     def _append_event(self, tid: int, label: Label) -> Event:
-        self._version += 1
         thread = self._threads.setdefault(tid, [])
         ev = Event(tid, len(thread))
+        self._record_delta(("event", ev))
         thread.append(ev)
         self._labels[ev] = label
         self._stamp[ev] = self._next_stamp
@@ -161,13 +233,13 @@ class ExecutionGraph:
         coherence order (default: coherence-maximal).  Index 0 is the
         initialisation write and is not a legal position."""
         self.ensure_location(label.loc)
-        ev = self._append_event(tid, label)
-        self._version += 1
         order = self._co[label.loc]
         if co_index is None:
             co_index = len(order)
         if not 1 <= co_index <= len(order):
             raise GraphError(f"bad coherence index {co_index} for {label.loc}")
+        ev = self._append_event(tid, label)
+        self._record_delta(("co", ev))
         order.insert(co_index, ev)
         return ev
 
@@ -178,7 +250,10 @@ class ExecutionGraph:
         """Redirect an existing read to a different source write."""
         if read not in self._rf:
             raise GraphError(f"{read} is not a read of this graph")
+        # redirecting rf rewrites history (old pairs disappear), which
+        # the extend-only delta log cannot express: cut the log
         self._version += 1
+        self._reset_deltas()
         self._rf[read] = write
 
     # -- accessors -------------------------------------------------------------
@@ -306,7 +381,13 @@ class ExecutionGraph:
         dup._rf = {}
         dup._co = {}
         dup._stamp = {}
-        dup._version = 0
+        # a restriction is a different graph: caches start empty, and
+        # the version stays on the parent's monotonic lineage
+        dup._version = self._version
+        dup._derived = {}
+        dup._aux = {}
+        dup._deltas = []
+        dup._delta_base = dup._version
         dup._init_by_loc = dict(self._init_by_loc)
         by_thread: dict[int, list[Event]] = {}
         for ev in keep_set:
@@ -349,6 +430,43 @@ class ExecutionGraph:
         for new, ev in enumerate(self.events_by_stamp()):
             self._stamp[ev] = new
         self._next_stamp = len(self._labels)
+
+    # -- pickling -----------------------------------------------------------------
+    #
+    # Graphs ride through process pools (subtree dispatch, execution
+    # records).  The derived-relation cache, auxiliary incremental
+    # state and mutation log are process-local derived data — cheap to
+    # rebuild and potentially holding unpicklable payloads (profiler
+    # references inside cat environments) — so pickles carry only the
+    # defining components.
+
+    def __getstate__(self):
+        return (
+            self._labels,
+            self._threads,
+            self._rf,
+            self._co,
+            self._stamp,
+            self._next_stamp,
+            self._init_by_loc,
+            self._version,
+        )
+
+    def __setstate__(self, state):
+        (
+            self._labels,
+            self._threads,
+            self._rf,
+            self._co,
+            self._stamp,
+            self._next_stamp,
+            self._init_by_loc,
+            self._version,
+        ) = state
+        self._derived = {}
+        self._aux = {}
+        self._deltas = []
+        self._delta_base = self._version
 
     # -- debugging ----------------------------------------------------------------
 

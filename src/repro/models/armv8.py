@@ -17,7 +17,8 @@ from __future__ import annotations
 
 from ..events import Event
 from ..graphs import ExecutionGraph
-from ..graphs.derived import co, external, fr, rfe, rmw_pairs
+from ..graphs.derived import coe, fre, graph_cached, rfe, rmw_pairs
+from ..graphs.incremental import AcyclicFamily, acyclic_check
 from ..relations import Relation, union
 from .base import MemoryModel
 from .common import (
@@ -30,7 +31,8 @@ from .common import (
 )
 
 
-def _stlr_ldar(graph: ExecutionGraph) -> Relation:
+@graph_cached
+def stlr_ldar(graph: ExecutionGraph) -> Relation:
     """ARMv8 bob includes [L]; po; [A]: a store-release is ordered
     before every po-later load-acquire (RCsc semantics)."""
     rel = Relation()
@@ -45,6 +47,48 @@ def _stlr_ldar(graph: ExecutionGraph) -> Relation:
     return rel
 
 
+@stlr_ldar.register_delta_pairs
+def _stlr_ldar_delta(graph, delta):
+    if delta[0] != "event":
+        return ()
+    ev = delta[1]
+    if not is_acquire_read(graph, ev):
+        return ()
+    return [
+        (a, ev)
+        for a in graph._threads[ev.tid][: ev.index]
+        if is_release_write(graph, a)
+    ]
+
+
+def _ob_relation(graph: ExecutionGraph):
+    obs = union(rfe(graph), coe(graph), fre(graph))
+    return union(
+        obs,
+        ppo_dependencies(graph),   # dob
+        fence_ordered_po(graph),   # bob: dmb sy / dmb ld / dmb st / isb
+        acquire_release_po(graph),  # bob: ldar / stlr
+        stlr_ldar(graph),          # bob: [L]; po; [A] (RCsc)
+        rmw_pairs(graph),          # aob
+    )
+
+
+OB_FAMILY = AcyclicFamily(
+    "armv8-ob",
+    (
+        rfe,
+        coe,
+        fre,
+        ppo_dependencies,
+        fence_ordered_po,
+        acquire_release_po,
+        stlr_ldar,
+        rmw_pairs,
+    ),
+    build=_ob_relation,
+)
+
+
 class ARMv8(MemoryModel):
     """ARMv8 (AArch64): the declarative other-multi-copy-atomic model with DMB fences and release/acquire accesses."""
 
@@ -52,18 +96,10 @@ class ARMv8(MemoryModel):
     porf_acyclic = False
 
     def axiom_holds(self, graph: ExecutionGraph) -> bool:
-        return self.axiom_relation(graph).is_acyclic()
+        return acyclic_check(graph, OB_FAMILY)
 
     def axiom_relation(self, graph: ExecutionGraph):
-        obs = union(rfe(graph), external(co(graph)), external(fr(graph)))
-        return union(
-            obs,
-            ppo_dependencies(graph),   # dob
-            fence_ordered_po(graph),   # bob: dmb sy / dmb ld / dmb st / isb
-            acquire_release_po(graph),  # bob: ldar / stlr
-            _stlr_ldar(graph),         # bob: [L]; po; [A] (RCsc)
-            rmw_pairs(graph),          # aob
-        )
+        return _ob_relation(graph)
 
     def prefix_preds(self, graph: ExecutionGraph, ev: Event) -> list[Event]:
         return hardware_prefix_preds(graph, ev)

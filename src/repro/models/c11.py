@@ -10,6 +10,7 @@ from __future__ import annotations
 from ..events import Event, FenceKind, FenceLabel, MemOrder, ReadLabel, WriteLabel
 from ..graphs import ExecutionGraph
 from ..graphs.derived import eco, graph_cached, po, rf
+from ..graphs.incremental import AcyclicFamily
 from ..relations import Relation, bracket, optional, seq, union
 
 #: the C11 strength of each hardware fence, following the standard
@@ -94,17 +95,148 @@ def synchronizes_with(graph: ExecutionGraph) -> Relation:
     return sw
 
 
+def _chain_back(graph: ExecutionGraph, member: Event) -> list[Event]:
+    """Every write whose release sequence ``member`` belongs to: walk
+    the RMW chain backwards through exclusive-pair and rf edges."""
+    out = [member]
+    w = member
+    while True:
+        lab = graph.label(w)
+        if not (isinstance(lab, WriteLabel) and lab.exclusive):
+            return out
+        partner = graph.exclusive_pair(w)
+        if partner is None:
+            return out
+        prev = graph.rf(partner)
+        if prev is None or prev in out:
+            return out
+        out.append(prev)
+        w = prev
+
+
+def _sync_sources(graph: ExecutionGraph, member: Event) -> set[Event]:
+    """Release sources synchronising through a read of ``member``."""
+    sources: set[Event] = set()
+    for base in _chain_back(graph, member):
+        source = _release_source(graph, base)
+        if source is not None:
+            sources.add(source)
+    return sources
+
+
+@synchronizes_with.register_delta_pairs
+def _sw_delta(graph, delta):
+    # sw pairs only ever *appear* as events are added, and a pair's
+    # last-added constituent is either the reader (when the acquire
+    # target already exists: the read itself) or a po-later acquire
+    # fence.  Pairs a read contributes towards a fence added later are
+    # emitted by both deltas; duplicates are harmless.
+    if delta[0] != "event":
+        return ()
+    ev = delta[1]
+    lab = graph._labels[ev]
+    out = []
+    if isinstance(lab, ReadLabel):
+        target = _acquire_target(graph, ev)
+        if target is not None:
+            member = graph._rf.get(ev)
+            if member is not None:
+                out.extend(
+                    (source, target)
+                    for source in _sync_sources(graph, member)
+                    if source != target
+                )
+    elif isinstance(lab, FenceLabel) and fence_c11_order(lab).is_acquire():
+        for rd in graph._threads[ev.tid][: ev.index]:
+            if not isinstance(graph._labels[rd], ReadLabel):
+                continue
+            if _acquire_target(graph, rd) != ev:
+                continue
+            member = graph._rf.get(rd)
+            if member is None:
+                continue
+            out.extend(
+                (source, ev)
+                for source in _sync_sources(graph, member)
+                if source != ev
+            )
+    return out
+
+
 def happens_before(graph: ExecutionGraph, sw: Relation | None = None) -> Relation:
     """hb = (po ∪ sw)+."""
     if sw is None:
-        sw = synchronizes_with(graph)
+        return hb_c11(graph)
     return union(po(graph), sw).transitive_closure()
+
+
+@graph_cached
+def hb_c11(graph: ExecutionGraph) -> Relation:
+    """The cached C11 hb = (po ∪ sw)+."""
+    return union(po(graph), synchronizes_with(graph)).transitive_closure()
+
+
+def _closure_extend(new: Relation, ev: Event, direct: set) -> Relation:
+    """Extend a transitive closure whose base edges only point *into*
+    ``ev``: the closure gains (x, ev) for every direct predecessor and
+    every node that already reaches one."""
+    if not direct:
+        return new
+    preds = set(direct)
+    for x, succs in new._succ.items():
+        if x not in preds and not succs.isdisjoint(direct):
+            preds.add(x)
+    return new.extended((x, ev) for x in preds)
+
+
+@hb_c11.register_incremental
+def _hb_c11_incremental(graph, old, deltas):
+    new = old
+    for delta in deltas:
+        if delta[0] != "event":
+            continue
+        ev = delta[1]
+        direct = set(graph._threads[ev.tid][: ev.index])
+        direct.update(a for a, b in _sw_delta(graph, delta) if b == ev)
+        new = _closure_extend(new, ev, direct)
+    return new
 
 
 @graph_cached
 def strong_happens_before(graph: ExecutionGraph) -> Relation:
     """hb where *every* rf edge synchronises (the RA model's hb)."""
     return union(po(graph), rf(graph)).transitive_closure()
+
+
+@strong_happens_before.register_incremental
+def _strong_hb_incremental(graph, old, deltas):
+    new = old
+    for delta in deltas:
+        if delta[0] != "event":
+            continue
+        ev = delta[1]
+        direct = set(graph._threads[ev.tid][: ev.index])
+        if isinstance(graph._labels[ev], ReadLabel):
+            src = graph._rf.get(ev)
+            if src is not None:
+                direct.add(src)
+        new = _closure_extend(new, ev, direct)
+    return new
+
+
+#: (po ∪ rf) acyclicity — RC11's porf axiom, and (by the equivalence
+#: irreflexive((po ∪ rf)+) ⟺ acyclic(po ∪ rf)) the RA model's
+#: strong-hb irreflexivity check
+PORF_FAMILY = AcyclicFamily(
+    "porf", (po, rf), build=lambda g: union(po(g), rf(g))
+)
+
+#: (po ∪ sw) acyclicity ⟺ hb irreflexivity, for RC11 and IMM
+HB_FAMILY = AcyclicFamily(
+    "hb",
+    (po, synchronizes_with),
+    build=lambda g: union(po(g), synchronizes_with(g)),
+)
 
 
 def sc_events(graph: ExecutionGraph, accesses: bool = True) -> list[Event]:

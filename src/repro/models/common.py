@@ -10,8 +10,26 @@ from __future__ import annotations
 
 from ..events import Event, FenceKind, FenceLabel, MemOrder, ReadLabel, WriteLabel
 from ..graphs import ExecutionGraph
-from ..graphs.derived import co, dependency, fr, graph_cached, po_loc, rf, rmw_pairs
+from ..graphs.derived import (
+    co,
+    dependency,
+    fr,
+    graph_cached,
+    po_loc,
+    rf,
+    rmw_pairs,
+    same_thread,
+)
+from ..graphs.incremental import AcyclicFamily, acyclic_check
 from ..relations import Relation, union
+
+#: coherence is checked on *every* model and every step, making it the
+#: incremental acyclicity checker's highest-traffic family
+COHERENCE_FAMILY = AcyclicFamily(
+    "coherence",
+    (po_loc, rf, co, fr),
+    build=lambda g: union(po_loc(g), rf(g), co(g), fr(g)),
+)
 
 
 def sc_per_location(graph: ExecutionGraph) -> bool:
@@ -20,8 +38,7 @@ def sc_per_location(graph: ExecutionGraph) -> bool:
     Locations are independent, so this is checked globally; the po-loc
     component only ever links same-location accesses.
     """
-    rel = union(po_loc(graph), rf(graph), co(graph), fr(graph))
-    return rel.is_acyclic()
+    return acyclic_check(graph, COHERENCE_FAMILY)
 
 
 def atomicity_ok(graph: ExecutionGraph) -> bool:
@@ -30,7 +47,14 @@ def atomicity_ok(graph: ExecutionGraph) -> bool:
     for read, write in rmw_pairs(graph).pairs():
         src = graph.rf(read)
         order = graph.co_order(graph.label(write).location)  # type: ignore[arg-type]
-        i, j = order.index(src), order.index(write)
+        try:
+            i, j = order.index(src), order.index(write)
+        except ValueError:
+            # the rf source or the exclusive write is not in the
+            # location's coherence order — only constructible through
+            # from_parts with inconsistent inputs, and certainly not
+            # an atomic RMW
+            return False
         if j != i + 1:
             return False
     return True
@@ -123,6 +147,38 @@ def fence_ordered_po(graph: ExecutionGraph) -> Relation:
     return rel
 
 
+@fence_ordered_po.register_delta_pairs
+def _fence_ordered_po_delta(graph, delta):
+    # thread prefixes are append-only, so a new event only gains pairs
+    # in which it is the *later* access
+    if delta[0] != "event":
+        return ()
+    ev = delta[1]
+    cls_b = _access_class(graph, ev)
+    if cls_b is None:
+        return ()
+    events = graph._threads[ev.tid]
+    j = ev.index
+    fence_positions = [
+        (k, graph._labels[e])
+        for k, e in enumerate(events[:j])
+        if isinstance(graph._labels[e], FenceLabel)
+    ]
+    if not fence_positions:
+        return ()
+    out = []
+    for i in range(j):
+        a = events[i]
+        cls_a = _access_class(graph, a)
+        if cls_a is None:
+            continue
+        for k, flab in fence_positions:
+            if i < k and fence_orders(flab.kind, flab.order, cls_a, cls_b):
+                out.append((a, ev))
+                break
+    return out
+
+
 @graph_cached
 def acquire_release_po(graph: ExecutionGraph) -> Relation:
     """po edges induced by access annotations: everything after an
@@ -137,6 +193,23 @@ def acquire_release_po(graph: ExecutionGraph) -> Relation:
                 elif graph.label(a).is_access and is_release_write(graph, b):
                     rel.add(a, b)
     return rel
+
+
+@acquire_release_po.register_delta_pairs
+def _acquire_release_po_delta(graph, delta):
+    if delta[0] != "event":
+        return ()
+    ev = delta[1]
+    if not graph._labels[ev].is_access:
+        return ()
+    ev_is_release_write = is_release_write(graph, ev)
+    out = []
+    for a in graph._threads[ev.tid][: ev.index]:
+        if is_acquire_read(graph, a):
+            out.append((a, ev))
+        elif ev_is_release_write and graph._labels[a].is_access:
+            out.append((a, ev))
+    return out
 
 
 @graph_cached
@@ -157,6 +230,55 @@ def ppo_dependencies(graph: ExecutionGraph) -> Relation:
 
     base = union(addr_data, ctrl, rmw_pairs(graph), rfi_rel(graph))
     return base.transitive_closure()
+
+
+@ppo_dependencies.register_delta_pairs
+def _ppo_dependencies_delta(graph, delta):
+    # closure pairs always end at the newer event (base edges only
+    # point *into* a new event), so the pairs a delta contributed are
+    # exactly the new event's in-edges in the maintained closure.
+    # ppo_dependencies(graph) is current-version here: the wrapper's
+    # custom updater (below) runs first, so no recursion.
+    if delta[0] != "event":
+        return ()
+    ev = delta[1]
+    closure = ppo_dependencies(graph)
+    return [(x, ev) for x, succs in closure._succ.items() if ev in succs]
+
+
+@ppo_dependencies.register_incremental
+def _ppo_dependencies_incremental(graph, old, deltas):
+    # A new event has no outgoing base edges (deps point backwards,
+    # its rfi readers and rmw write partner arrive later — each with a
+    # delta of its own), so the closure gains exactly the pairs
+    # (ancestor, new event).  Direct in-edges mirror the base union
+    # above; ancestors are the direct predecessors' predecessors in the
+    # already-closed relation.
+    new = old
+    for delta in deltas:
+        if delta[0] != "event":
+            continue
+        ev = delta[1]
+        lab = graph._labels[ev]
+        direct = set(lab.addr_deps | lab.data_deps)
+        if isinstance(lab, WriteLabel):
+            direct.update(lab.ctrl_deps)
+            if lab.exclusive:
+                partner = graph.exclusive_pair(ev)
+                if partner is not None:
+                    direct.add(partner)
+        elif isinstance(lab, ReadLabel):
+            src = graph._rf.get(ev)
+            if src is not None and same_thread(src, ev):
+                direct.add(src)
+        if not direct:
+            continue
+        preds = set(direct)
+        for x, succs in new._succ.items():
+            if x not in preds and not succs.isdisjoint(direct):
+                preds.add(x)
+        new = new.extended((x, ev) for x in preds)
+    return new
 
 
 def minimal_prefix_preds(graph: ExecutionGraph, ev: Event) -> list[Event]:

@@ -20,16 +20,32 @@ from __future__ import annotations
 from ..events import Event
 from ..graphs import ExecutionGraph
 from ..graphs.derived import eco, rfe
+from ..graphs.incremental import AcyclicFamily, acyclic_check, coherent_check
 from ..relations import union
 from .base import MemoryModel
-from .c11 import happens_before, psc_acyclic, sc_events, synchronizes_with
+from .c11 import HB_FAMILY, hb_c11, psc_acyclic, sc_events
 from .common import (
     acquire_release_po,
     fence_ordered_po,
     hardware_prefix_preds,
     ppo_dependencies,
 )
-from .ra import hb_coherent
+
+
+def _ar_relation(graph: ExecutionGraph):
+    return union(
+        rfe(graph),
+        fence_ordered_po(graph),   # bob: barriers
+        acquire_release_po(graph),  # bob: rel/acq annotations
+        ppo_dependencies(graph),   # ppo: deps ∪ rfi ∪ rmw, closed
+    )
+
+
+AR_FAMILY = AcyclicFamily(
+    "imm-ar",
+    (rfe, fence_ordered_po, acquire_release_po, ppo_dependencies),
+    build=_ar_relation,
+)
 
 
 class IMM(MemoryModel):
@@ -39,23 +55,19 @@ class IMM(MemoryModel):
     porf_acyclic = False
 
     def axiom_holds(self, graph: ExecutionGraph) -> bool:
-        hb = happens_before(graph, synchronizes_with(graph))
-        if not hb.is_irreflexive():
+        # irreflexive((po ∪ sw)+) ⟺ acyclic(po ∪ sw)
+        if not acyclic_check(graph, HB_FAMILY):
             return False
-        if not hb_coherent(hb, eco(graph)):  # COH
+        hb = hb_c11(graph)
+        if not coherent_check(graph, "imm", hb, eco(graph)):  # COH
             return False
         if not psc_acyclic(graph, hb, sc_events(graph)):  # SC axiom
             return False
-        return self.axiom_relation(graph).is_acyclic()
+        return acyclic_check(graph, AR_FAMILY)
 
     def axiom_relation(self, graph: ExecutionGraph):
         """The ar relation (note: COH and psc are separate checks)."""
-        return union(
-            rfe(graph),
-            fence_ordered_po(graph),   # bob: barriers
-            acquire_release_po(graph),  # bob: rel/acq annotations
-            ppo_dependencies(graph),   # ppo: deps ∪ rfi ∪ rmw, closed
-        )
+        return _ar_relation(graph)
 
     def prefix_preds(self, graph: ExecutionGraph, ev: Event) -> list[Event]:
         return hardware_prefix_preds(graph, ev)

@@ -17,9 +17,19 @@ from __future__ import annotations
 from ..events import Event, FenceLabel
 from ..graphs import ExecutionGraph
 from ..graphs.derived import co, external, fr, rf, rfe, writes
+from ..graphs.incremental import AcyclicFamily, acyclic_check
 from ..relations import Relation, optional, seq, union
 from .base import MemoryModel
 from .common import hardware_prefix_preds, fence_ordered_po, ppo_dependencies
+
+
+def _hb_relation(graph: ExecutionGraph) -> Relation:
+    return union(ppo_dependencies(graph), fence_ordered_po(graph), rfe(graph))
+
+
+HB_FAMILY = AcyclicFamily(
+    "power-hb", (ppo_dependencies, fence_ordered_po, rfe), build=_hb_relation
+)
 
 
 def _sync_ordered(graph: ExecutionGraph) -> Relation:
@@ -52,11 +62,10 @@ class Power(MemoryModel):
     porf_acyclic = False
 
     def axiom_holds(self, graph: ExecutionGraph) -> bool:
-        ppo = ppo_dependencies(graph)
-        fences = fence_ordered_po(graph)
-        hb = union(ppo, fences, rfe(graph))
-        if not hb.is_acyclic():  # causality / no-thin-air
+        if not acyclic_check(graph, HB_FAMILY):  # causality / no-thin-air
             return False
+        fences = fence_ordered_po(graph)
+        hb = _hb_relation(graph)
 
         universe = list(graph.events())
         hb_star = optional(hb.transitive_closure(), universe)

@@ -10,11 +10,12 @@ from __future__ import annotations
 
 from ..events import Event, ReadLabel, WriteLabel
 from ..graphs import ExecutionGraph
-from ..graphs.derived import external, co, fr, po, rfe
+from ..graphs.derived import coe, fre, graph_cached, po, rfe
+from ..graphs.incremental import AcyclicFamily, acyclic_check
 from ..relations import Relation, union
 from .base import MemoryModel
 from .common import fence_ordered_po
-from .tso import _exclusive_flush
+from .tso import exclusive_flush
 
 
 def _relaxed(graph: ExecutionGraph, a: Event, b: Event) -> bool:
@@ -28,6 +29,59 @@ def _relaxed(graph: ExecutionGraph, a: Event, b: Event) -> bool:
     return isinstance(lb, WriteLabel) and lb.loc != la.loc
 
 
+@graph_cached
+def pso_ppo(graph: ExecutionGraph) -> Relation:
+    """PSO preserved program order: po over accesses minus W -> R and
+    W -> W-to-a-different-location.
+
+    ppo ranges over accesses only: the fence *events* must not smuggle
+    W->R order in through transitivity (W -> F -> R); a fence's effect
+    enters solely via fence_ordered_po.
+    """
+    return Relation(
+        (a, b)
+        for a, b in po(graph).pairs()
+        if graph.label(a).is_access
+        and graph.label(b).is_access
+        and not _relaxed(graph, a, b)
+    )
+
+
+@pso_ppo.register_delta_pairs
+def _pso_ppo_delta(graph, delta):
+    if delta[0] != "event":
+        return ()
+    ev = delta[1]
+    if not graph._labels[ev].is_access:
+        return ()
+    out = []
+    for a in graph._threads[ev.tid][: ev.index]:
+        if not graph._labels[a].is_access:
+            continue
+        if _relaxed(graph, a, ev):
+            continue
+        out.append((a, ev))
+    return out
+
+
+def _axiom_relation(graph: ExecutionGraph):
+    return union(
+        pso_ppo(graph),
+        fence_ordered_po(graph),
+        exclusive_flush(graph),
+        rfe(graph),
+        coe(graph),
+        fre(graph),
+    )
+
+
+PSO_FAMILY = AcyclicFamily(
+    "pso",
+    (pso_ppo, fence_ordered_po, exclusive_flush, rfe, coe, fre),
+    build=_axiom_relation,
+)
+
+
 class PSO(MemoryModel):
     """SPARC PSO: per-location store buffers, so writes to different locations may reorder too."""
 
@@ -35,24 +89,7 @@ class PSO(MemoryModel):
     porf_acyclic = True
 
     def axiom_holds(self, graph: ExecutionGraph) -> bool:
-        return self.axiom_relation(graph).is_acyclic()
+        return acyclic_check(graph, PSO_FAMILY)
 
     def axiom_relation(self, graph: ExecutionGraph):
-        # ppo ranges over accesses only: the fence *events* must not
-        # smuggle W->R order in through transitivity (W -> F -> R); a
-        # fence's effect enters solely via fence_ordered_po
-        ppo = Relation(
-            (a, b)
-            for a, b in po(graph).pairs()
-            if graph.label(a).is_access
-            and graph.label(b).is_access
-            and not _relaxed(graph, a, b)
-        )
-        return union(
-            ppo,
-            fence_ordered_po(graph),
-            _exclusive_flush(graph),
-            rfe(graph),
-            external(co(graph)),
-            external(fr(graph)),
-        )
+        return _axiom_relation(graph)

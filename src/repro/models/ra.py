@@ -10,9 +10,10 @@ from __future__ import annotations
 
 from ..graphs import ExecutionGraph
 from ..graphs.derived import eco
+from ..graphs.incremental import acyclic_check, coherent_check
 from ..relations import Relation
 from .base import MemoryModel
-from .c11 import psc_acyclic, sc_events, strong_happens_before
+from .c11 import PORF_FAMILY, psc_acyclic, sc_events, strong_happens_before
 
 
 def hb_coherent(hb: Relation, eco_rel: Relation) -> bool:
@@ -27,10 +28,11 @@ class ReleaseAcquire(MemoryModel):
     porf_acyclic = True
 
     def axiom_holds(self, graph: ExecutionGraph) -> bool:
-        hb = strong_happens_before(graph)
-        if not hb.is_irreflexive():
+        # irreflexive((po ∪ rf)+) ⟺ acyclic(po ∪ rf)
+        if not acyclic_check(graph, PORF_FAMILY):
             return False
-        if not hb_coherent(hb, eco(graph)):
+        hb = strong_happens_before(graph)
+        if not coherent_check(graph, "ra", hb, eco(graph)):
             return False
         # RA has no SC *accesses* (they degrade to rel/acq), but SC
         # fences still restore order between the events around them

@@ -11,11 +11,10 @@ axiom, which is exactly the gap HMC targets.
 from __future__ import annotations
 
 from ..graphs import ExecutionGraph
-from ..graphs.derived import eco, po, rf
-from ..relations import union
+from ..graphs.derived import eco
+from ..graphs.incremental import acyclic_check, coherent_check
 from .base import MemoryModel
-from .c11 import happens_before, psc_acyclic, sc_events, synchronizes_with
-from .ra import hb_coherent
+from .c11 import HB_FAMILY, PORF_FAMILY, hb_c11, psc_acyclic, sc_events
 
 
 class RC11(MemoryModel):
@@ -25,12 +24,12 @@ class RC11(MemoryModel):
     porf_acyclic = True
 
     def axiom_holds(self, graph: ExecutionGraph) -> bool:
-        porf = union(po(graph), rf(graph))
-        if not porf.is_acyclic():  # no-thin-air
+        if not acyclic_check(graph, PORF_FAMILY):  # no-thin-air
             return False
-        hb = happens_before(graph, synchronizes_with(graph))
-        if not hb.is_irreflexive():
+        # irreflexive((po ∪ sw)+) ⟺ acyclic(po ∪ sw)
+        if not acyclic_check(graph, HB_FAMILY):
             return False
-        if not hb_coherent(hb, eco(graph)):  # COH
+        hb = hb_c11(graph)
+        if not coherent_check(graph, "rc11", hb, eco(graph)):  # COH
             return False
         return psc_acyclic(graph, hb, sc_events(graph))

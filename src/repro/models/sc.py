@@ -9,8 +9,16 @@ from __future__ import annotations
 
 from ..graphs import ExecutionGraph
 from ..graphs.derived import co, fr, po, rf
+from ..graphs.incremental import AcyclicFamily, acyclic_check
 from ..relations import union
 from .base import MemoryModel
+
+
+def _axiom_relation(graph: ExecutionGraph):
+    return union(po(graph), rf(graph), co(graph), fr(graph))
+
+
+SC_FAMILY = AcyclicFamily("sc", (po, rf, co, fr), build=_axiom_relation)
 
 
 class SequentialConsistency(MemoryModel):
@@ -20,7 +28,7 @@ class SequentialConsistency(MemoryModel):
     porf_acyclic = True
 
     def axiom_holds(self, graph: ExecutionGraph) -> bool:
-        return self.axiom_relation(graph).is_acyclic()
+        return acyclic_check(graph, SC_FAMILY)
 
     def axiom_relation(self, graph: ExecutionGraph):
-        return union(po(graph), rf(graph), co(graph), fr(graph))
+        return _axiom_relation(graph)

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 from ..events import Event, ReadLabel, WriteLabel
 from ..graphs import ExecutionGraph
-from ..graphs.derived import external, co, fr, po, rfe
+from ..graphs.derived import coe, fre, graph_cached, po, rfe
+from ..graphs.incremental import AcyclicFamily, acyclic_check
 from ..relations import Relation, union
 from .base import MemoryModel
 from .common import fence_ordered_po
@@ -25,7 +26,8 @@ def _buffered(graph: ExecutionGraph, a: Event, b: Event) -> bool:
     )
 
 
-def _exclusive_flush(graph: ExecutionGraph) -> Relation:
+@graph_cached
+def exclusive_flush(graph: ExecutionGraph) -> Relation:
     """Locked RMW instructions act as full fences on x86: order every
     access before an exclusive access against every access after it."""
     rel = Relation()
@@ -50,6 +52,91 @@ def _exclusive_flush(graph: ExecutionGraph) -> Relation:
     return rel
 
 
+@exclusive_flush.register_delta_pairs
+def _exclusive_flush_delta(graph, delta):
+    if delta[0] != "event":
+        return ()
+    ev = delta[1]
+    if not graph._labels[ev].is_access:
+        return ()
+    events = graph._threads[ev.tid]
+    j = ev.index
+    locked = [
+        k
+        for k in range(j + 1)
+        if getattr(graph._labels[events[k]], "exclusive", False)
+    ]
+    if not locked:
+        return ()
+    out = []
+    for i in range(j):
+        a = events[i]
+        if not graph._labels[a].is_access:
+            continue
+        if any(i <= k for k in locked):
+            out.append((a, ev))
+    return out
+
+
+# back-compat alias (pso imports it; tests may too)
+_exclusive_flush = exclusive_flush
+
+
+@graph_cached
+def tso_ppo(graph: ExecutionGraph) -> Relation:
+    """TSO preserved program order: po over accesses minus W -> R.
+
+    ppo ranges over accesses only: the fence *events* must not smuggle
+    W->R order in through transitivity (W -> F -> R); a fence's effect
+    enters solely via fence_ordered_po.
+    """
+    return Relation(
+        (a, b)
+        for a, b in po(graph).pairs()
+        if graph.label(a).is_access
+        and graph.label(b).is_access
+        and not _buffered(graph, a, b)
+    )
+
+
+@tso_ppo.register_delta_pairs
+def _tso_ppo_delta(graph, delta):
+    if delta[0] != "event":
+        return ()
+    ev = delta[1]
+    lab = graph._labels[ev]
+    if not lab.is_access:
+        return ()
+    ev_is_read = isinstance(lab, ReadLabel)
+    out = []
+    for a in graph._threads[ev.tid][: ev.index]:
+        alab = graph._labels[a]
+        if not alab.is_access:
+            continue
+        if ev_is_read and isinstance(alab, WriteLabel):
+            continue  # W -> R is buffered
+        out.append((a, ev))
+    return out
+
+
+def _axiom_relation(graph: ExecutionGraph):
+    return union(
+        tso_ppo(graph),
+        fence_ordered_po(graph),
+        exclusive_flush(graph),
+        rfe(graph),
+        coe(graph),
+        fre(graph),
+    )
+
+
+TSO_FAMILY = AcyclicFamily(
+    "tso",
+    (tso_ppo, fence_ordered_po, exclusive_flush, rfe, coe, fre),
+    build=_axiom_relation,
+)
+
+
 class TSO(MemoryModel):
     """x86-TSO: store buffering only — writes may pass later reads, everything else stays ordered."""
 
@@ -57,24 +144,7 @@ class TSO(MemoryModel):
     porf_acyclic = True
 
     def axiom_holds(self, graph: ExecutionGraph) -> bool:
-        return self.axiom_relation(graph).is_acyclic()
+        return acyclic_check(graph, TSO_FAMILY)
 
     def axiom_relation(self, graph: ExecutionGraph):
-        # ppo ranges over accesses only: the fence *events* must not
-        # smuggle W->R order in through transitivity (W -> F -> R); a
-        # fence's effect enters solely via fence_ordered_po
-        ppo = Relation(
-            (a, b)
-            for a, b in po(graph).pairs()
-            if graph.label(a).is_access
-            and graph.label(b).is_access
-            and not _buffered(graph, a, b)
-        )
-        return union(
-            ppo,
-            fence_ordered_po(graph),
-            _exclusive_flush(graph),
-            rfe(graph),
-            external(co(graph)),
-            external(fr(graph)),
-        )
+        return _axiom_relation(graph)

@@ -29,9 +29,19 @@ histogram / phase namespaces of the registry):
 
 * ``relation:<name>:memo_hit`` — a derived relation was served from the
   per-graph memo (counter);
+* ``relation:<name>:incremental_hit`` — a stale cached relation was
+  *extended* through the graph's delta log instead of recomputed
+  (counter; see :mod:`repro.graphs.incremental`);
 * phase ``relation:<name>`` — time spent *computing* a derived
-  relation (nests inside whatever ``check:`` phase asked for it, so
-  axiom self-time excludes relation-building time);
+  relation, whether from scratch or incrementally (nests inside
+  whatever ``check:`` phase asked for it, so axiom self-time excludes
+  relation-building time);
+* ``acyclic:incremental_hit`` / ``acyclic:fallback`` — an incremental
+  acyclicity check absorbed the inserted edges into its stored
+  topological order (or proved they close a cycle), or gave up and
+  re-ran the full DFS (counters);
+* ``coherent:incremental_hit`` — a COH check verified only the events
+  appended since its last verdict (counter);
 * ``cat:memo_hit:<binding>`` / ``cat:memo_miss:<binding>`` — per-name
   memo behaviour of one ``.cat`` evaluation environment (counters);
 * ``cat:fixpoint_iters:<names>`` — rounds a ``let rec`` group took to

@@ -12,6 +12,7 @@ the graph-construction code uses while a relation is still private.
 
 from __future__ import annotations
 
+import heapq
 from collections.abc import Hashable, Iterable, Iterator
 from typing import Callable, TypeVar
 
@@ -59,6 +60,32 @@ class Relation:
     def copy(self) -> "Relation":
         dup = Relation()
         dup._succ = {a: set(bs) for a, bs in self._succ.items()}
+        return dup
+
+    def extended(self, pairs: Iterable[tuple[Node, Node]]) -> "Relation":
+        """``self`` plus ``pairs``, sharing structure with ``self``.
+
+        Copy-on-write: only the adjacency sets of sources appearing in
+        ``pairs`` are duplicated; every other set is shared with
+        ``self``.  This makes extending a large cached relation by a
+        handful of pairs O(added), which is what the incremental
+        derived-relation cache relies on.  Both ``self`` and the result
+        must stay immutable afterwards (``add`` would corrupt the
+        sharing) — the usual immutable-by-convention rule, made
+        load-bearing.
+        """
+        succ = dict(self._succ)
+        owned: set[Node] = set()
+        for a, b in pairs:
+            if a in owned:
+                succ[a].add(b)
+            else:
+                fresh = set(succ.get(a, ()))
+                fresh.add(b)
+                succ[a] = fresh
+                owned.add(a)
+        dup = Relation()
+        dup._succ = succ
         return dup
 
     # -- queries ---------------------------------------------------------
@@ -276,10 +303,57 @@ class Relation:
                     return False
         return True
 
+    def topological_order(self, nodes: Iterable[Node]) -> list[Node] | None:
+        """A topological order of the relation's nodes from a single
+        DFS (reverse postorder), or None when cyclic.
+
+        One pass where :meth:`is_acyclic` followed by
+        :meth:`topological_sort` would take three; roots are taken in
+        ``nodes`` order, which must cover every node of the relation.
+        Unlike :meth:`topological_sort` the tie-breaking is DFS
+        completion order, not the lexicographically smallest order —
+        callers that need the pinned deterministic order keep using
+        :meth:`topological_sort`.
+        """
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour: dict[Node, int] = {}
+        post: list[Node] = []
+        for root in nodes:
+            if colour.get(root, WHITE) != WHITE:
+                continue
+            stack: list[tuple[Node, Iterator[Node]]] = [
+                (root, iter(self._succ.get(root, ())))
+            ]
+            colour[root] = GREY
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    c = colour.get(nxt, WHITE)
+                    if c == GREY:
+                        return None
+                    if c == WHITE:
+                        colour[nxt] = GREY
+                        stack.append((nxt, iter(self._succ.get(nxt, ()))))
+                        advanced = True
+                        break
+                if not advanced:
+                    colour[node] = BLACK
+                    post.append(node)
+                    stack.pop()
+        post.reverse()
+        return post
+
     def topological_sort(self, nodes: Iterable[Node]) -> list[Node]:
         """A topological order of ``nodes`` consistent with the relation.
 
-        Raises :class:`ValueError` when restricted relation is cyclic.
+        Deterministic: among the nodes ready at any point, the one
+        earliest in ``nodes`` is emitted first (a min-heap keyed by
+        universe index), so the result is the lexicographically
+        smallest topological order with respect to the given universe.
+
+        Raises :class:`ValueError` when the restricted relation is
+        cyclic.
         """
         universe = list(nodes)
         index = {n: i for i, n in enumerate(universe)}
@@ -287,18 +361,17 @@ class Relation:
         for a, b in self.pairs():
             if a in indeg and b in indeg and a != b:
                 indeg[b] += 1
-        ready = sorted(
-            (n for n, d in indeg.items() if d == 0), key=index.__getitem__
-        )
+        ready = [index[n] for n, d in indeg.items() if d == 0]
+        heapq.heapify(ready)
         out: list[Node] = []
         while ready:
-            n = ready.pop(0)
+            n = universe[heapq.heappop(ready)]
             out.append(n)
-            for m in sorted(self._succ.get(n, ()), key=lambda x: index.get(x, -1)):
+            for m in self._succ.get(n, ()):
                 if m in indeg and m != n:
                     indeg[m] -= 1
                     if indeg[m] == 0:
-                        ready.append(m)
+                        heapq.heappush(ready, index[m])
         if len(out) != len(universe):
             raise ValueError("relation is cyclic on the given nodes")
         return out
