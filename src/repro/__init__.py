@@ -26,6 +26,8 @@ notice.  See docs/API.md for the full reference and the migration
 guide from pre-façade imports.
 """
 
+__version__ = "1.1.0"
+
 # the façade: entry points ----------------------------------------------
 from .core import (
     Estimate,
@@ -76,7 +78,8 @@ from .suite import (
 # observability ---------------------------------------------------------
 from .obs import Observer, ProgressReporter
 
-__version__ = "1.1.0"
+# the verification service ----------------------------------------------
+from .service import ServiceClient, ServiceError, serve
 
 __all__ = [
     # verification
@@ -121,5 +124,9 @@ __all__ = [
     # observability
     "Observer",
     "ProgressReporter",
+    # the verification service
+    "ServiceClient",
+    "ServiceError",
+    "serve",
     "__version__",
 ]

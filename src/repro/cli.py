@@ -38,6 +38,13 @@
     hmc suite list                       # stored suite manifests
     hmc suite diff 20260807 20260808     # verdict/count drift
     hmc suite check --baseline suite.json --warn-only
+    hmc serve --port 8321 --jobs 4       # long-running verification server
+    hmc submit litmus SB --model tso     # run a job on that server
+    hmc submit verify SB --model-file my.cat --stream
+    hmc submit suite --models sc,tso --no-wait
+    hmc jobs list                        # recent jobs on the server
+    hmc jobs show <id>                   # one job's status
+    hmc jobs cancel <id>                 # cancel a queued job
 """
 
 from __future__ import annotations
@@ -650,6 +657,188 @@ def _cmd_suite(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """`hmc serve` — run the verification server until SIGTERM."""
+    from .service import serve
+
+    return serve(
+        args.host,
+        args.port,
+        jobs=args.jobs,
+        queue_size=args.queue_size,
+        cache=False if args.no_cache else args.cache_dir,
+        task_timeout=args.task_timeout,
+        runs_dir=args.runs_dir,
+        save_runs=args.save_runs,
+        port_file=args.port_file,
+        quiet=args.quiet,
+    )
+
+
+def _submit_model_spec(args):
+    """`--model`/`--model-file` into the wire model spec."""
+    import os
+
+    path = getattr(args, "model_file", None)
+    if path is None:
+        return args.model
+    try:
+        with open(path) as handle:
+            source = handle.read()
+    except OSError as exc:
+        print(f"cannot read {path}: {exc}", file=sys.stderr)
+        return None
+    name = os.path.splitext(os.path.basename(path))[0]
+    return {"cat": source, "name": name}
+
+
+def _submit_payload(args):
+    """Build the submit payload for `hmc submit`, or None on error."""
+    payload: dict = {"kind": args.submit_command, "priority": args.priority}
+    if args.task_timeout is not None:
+        payload["task_timeout"] = args.task_timeout
+    if args.submit_command == "verify":
+        if args.family in workloads.FAMILIES or args.family in DATA_STRUCTURES:
+            payload["program"] = {"family": args.family, "n": args.n}
+        else:
+            payload["program"] = {"litmus": args.family}
+        model = _submit_model_spec(args)
+        if model is None:
+            return None
+        payload["model"] = model
+    elif args.submit_command == "litmus":
+        payload["test"] = args.test
+        model = _submit_model_spec(args)
+        if model is None:
+            return None
+        payload["model"] = model
+    else:  # suite
+        models: list = [
+            m.strip() for m in args.models.split(",") if m.strip()
+        ]
+        if args.model_file:
+            spec = _submit_model_spec(args)
+            if spec is None:
+                return None
+            models.append(spec)
+        if not models:
+            print("no models selected", file=sys.stderr)
+            return None
+        payload["models"] = models
+        payload["tests"] = args.litmus if args.litmus else None
+    return payload
+
+
+def _print_submit_result(args, result) -> int:
+    import json
+
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0
+    if result["kind"] == "suite":
+        totals = result["manifest"]["totals"]
+        print(
+            f"suite done: tasks={totals['tasks']} "
+            f"cached={totals['cache_hits']} errors={totals['errors']} "
+            f"deviations={totals['deviations']} "
+            f"elapsed={result['elapsed']:.3f}s"
+        )
+        return 1 if totals["deviations"] else 0
+    verdict = result.get("verdict")
+    if verdict is not None:
+        note = " (cached)" if result.get("cached") else ""
+        print(
+            f"{verdict['test']} under {verdict['model']}: "
+            f"{'observed' if verdict['observed'] else 'not observed'} "
+            f"in {verdict['executions']} executions{note}"
+        )
+        expected = result.get("expected")
+        if expected is not None and expected != verdict["observed"]:
+            print("  [deviates from literature]")
+            return 1
+        return 0
+    res = result["result"]
+    errors = len(res.get("errors", []))
+    print(
+        f"executions={res['executions']} blocked={res['blocked']} "
+        f"errors={errors} elapsed={result['elapsed']:.3f}s"
+        f"{' (cached)' if result.get('cached') else ''}"
+    )
+    return 1 if errors else 0
+
+
+def _cmd_submit(args) -> int:
+    """`hmc submit verify|litmus|suite` — run a job on a server."""
+    from .service import ServiceClient, ServiceError
+
+    payload = _submit_payload(args)
+    if payload is None:
+        return 2
+    client = ServiceClient(args.url)
+    try:
+        job = client.submit(payload)
+    except ServiceError as exc:
+        hint = (
+            f" (retry after {exc.retry_after:.0f}s)"
+            if exc.retry_after is not None
+            else ""
+        )
+        print(f"submit failed: {exc}{hint}", file=sys.stderr)
+        return 2
+    print(f"job {job['id']} {job['state']} ({job['label']})", file=sys.stderr)
+    if args.no_wait:
+        print(job["id"])
+        return 0
+    on_event = None
+    if args.stream:
+        def on_event(event):
+            import json
+
+            print(json.dumps(event, sort_keys=True), file=sys.stderr)
+    try:
+        result = client.wait(
+            job["id"], timeout=args.wait_timeout, on_event=on_event
+        )
+    except ServiceError as exc:
+        print(f"job {job['id']}: {exc}", file=sys.stderr)
+        return 1
+    return _print_submit_result(args, result)
+
+
+def _cmd_jobs(args) -> int:
+    """`hmc jobs list|show|cancel` — inspect jobs on a server."""
+    import json
+
+    from .service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        if args.jobs_command == "list":
+            jobs = client.list_jobs(limit=args.limit)
+            if args.json:
+                print(json.dumps(jobs, indent=2, sort_keys=True))
+                return 0
+            if not jobs:
+                print(f"no jobs on {client.url}")
+                return 0
+            for job in jobs:
+                print(
+                    f"{job['id']}  {job['state']:9s} {job['kind']:7s} "
+                    f"{job['label']}"
+                )
+            return 0
+        if args.jobs_command == "show":
+            print(json.dumps(client.status(args.id), indent=2, sort_keys=True))
+            return 0
+        # cancel
+        status = client.cancel(args.id)
+        print(f"{status['id']}: {status['reason']}")
+        return 0 if status.get("cancelled") else 1
+    except ServiceError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1 if exc.status == 409 else 2
+
+
 def _cmd_experiment(args) -> int:
     fn = ALL_EXPERIMENTS.get(args.name)
     if fn is None:
@@ -974,6 +1163,170 @@ def build_parser() -> argparse.ArgumentParser:
         help="report violations but exit 0 (CI soft gate)",
     )
 
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the HTTP verification server (see docs/SERVICE.md)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="listen port (0 = ephemeral; default 8321)",
+    )
+    serve_p.add_argument("--jobs", type=int, default=None, help=jobs_help)
+    serve_p.add_argument(
+        "--queue-size",
+        type=int,
+        default=64,
+        metavar="N",
+        help="queued jobs before submissions get 429 (default 64)",
+    )
+    serve_p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-addressed result cache",
+    )
+    serve_p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="result cache directory "
+        "(default: $REPRO_SUITE_CACHE_DIR or .repro/suite-cache)",
+    )
+    serve_p.add_argument(
+        "--task-timeout", type=float, default=None, help=task_timeout_help
+    )
+    serve_p.add_argument(
+        "--save-runs",
+        action="store_true",
+        help="store a suite manifest per completed job (see `hmc suite list`)",
+    )
+    serve_p.add_argument(
+        "--runs-dir",
+        metavar="DIR",
+        default=None,
+        help="run store directory for --save-runs",
+    )
+    serve_p.add_argument(
+        "--port-file",
+        metavar="PATH",
+        help="write the bound port to PATH once listening "
+        "(for scripts using --port 0)",
+    )
+    serve_p.add_argument(
+        "--quiet", action="store_true", help="suppress per-request logging"
+    )
+
+    url_help = (
+        "service URL (default: $REPRO_SERVICE_URL or http://127.0.0.1:8321)"
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit a job to a running `hmc serve` server"
+    )
+    submit_sub = submit.add_subparsers(dest="submit_command", required=True)
+
+    def submit_common(p):
+        p.add_argument("--url", default=None, help=url_help)
+        p.add_argument(
+            "--priority",
+            default="normal",
+            choices=["high", "normal", "low"],
+            help="queue priority (default normal)",
+        )
+        p.add_argument(
+            "--task-timeout",
+            type=float,
+            default=None,
+            help="per-job hang-recovery timeout in seconds",
+        )
+        p.add_argument(
+            "--no-wait",
+            action="store_true",
+            help="print the job id and return without waiting",
+        )
+        p.add_argument(
+            "--wait-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="give up waiting after SECONDS (default: wait forever)",
+        )
+        p.add_argument(
+            "--stream",
+            action="store_true",
+            help="print progress events (NDJSON) to stderr while waiting",
+        )
+        p.add_argument(
+            "--json", action="store_true", help="print the raw result JSON"
+        )
+
+    submit_verify = submit_sub.add_parser(
+        "verify", help="verify a workload family or litmus program"
+    )
+    submit_verify.add_argument(
+        "family", help="workload family or litmus test name"
+    )
+    submit_verify.add_argument("--n", type=int, default=2)
+    submit_verify.add_argument("--model", default="sc")
+    submit_verify.add_argument(
+        "--model-file", metavar="PATH", help=model_file_help
+    )
+    submit_common(submit_verify)
+
+    submit_litmus = submit_sub.add_parser(
+        "litmus", help="run one litmus test for a verdict"
+    )
+    submit_litmus.add_argument("test", help="litmus test name")
+    submit_litmus.add_argument("--model", default="sc")
+    submit_litmus.add_argument(
+        "--model-file", metavar="PATH", help=model_file_help
+    )
+    submit_common(submit_litmus)
+
+    submit_suite = submit_sub.add_parser(
+        "suite", help="run a litmus-by-model matrix"
+    )
+    submit_suite.add_argument(
+        "--litmus",
+        action="append",
+        metavar="TEST",
+        help="litmus test to include (repeatable; default: whole corpus)",
+    )
+    submit_suite.add_argument(
+        "--models",
+        default="sc,tso,ra",
+        metavar="M1,M2,...",
+        help="comma-separated model names (default: sc,tso,ra)",
+    )
+    submit_suite.add_argument(
+        "--model-file",
+        metavar="PATH",
+        help="also include the model from a declarative .cat file",
+    )
+    submit_common(submit_suite)
+
+    jobs_p = sub.add_parser(
+        "jobs", help="inspect jobs on a running verification server"
+    )
+    jobs_sub = jobs_p.add_subparsers(dest="jobs_command", required=True)
+
+    jobs_list = jobs_sub.add_parser("list", help="recent jobs, newest first")
+    jobs_list.add_argument("--url", default=None, help=url_help)
+    jobs_list.add_argument("--limit", type=int, default=100)
+    jobs_list.add_argument(
+        "--json", action="store_true", help="emit the status documents"
+    )
+
+    jobs_show = jobs_sub.add_parser("show", help="one job's status document")
+    jobs_show.add_argument("id", help="job id")
+    jobs_show.add_argument("--url", default=None, help=url_help)
+
+    jobs_cancel = jobs_sub.add_parser("cancel", help="cancel a queued job")
+    jobs_cancel.add_argument("id", help="job id")
+    jobs_cancel.add_argument("--url", default=None, help=url_help)
+
     runs = sub.add_parser(
         "runs",
         help="inspect and compare stored run manifests (see --save-run)",
@@ -1059,12 +1412,22 @@ _COMMANDS = {
     "trace-summary": _cmd_trace_summary,
     "runs": _cmd_runs,
     "suite": _cmd_suite,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "jobs": _cmd_jobs,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except KeyboardInterrupt:
+        # terminate any partial progress/heartbeat line cleanly, then
+        # report the conventional 128+SIGINT exit status
+        sys.stderr.write("\ninterrupted\n")
+        sys.stderr.flush()
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -416,6 +416,14 @@ class PoolSupervisor:
 
     A task failing more than ``task_retries`` times lands on
     :attr:`fallback` for the caller to re-run serially in-process.
+
+    With ``persistent=True`` the pool outlives :meth:`run`: workers
+    stay warm across calls (the verification service drives every job
+    through one such supervisor), per-run state (``acct``,
+    ``fallback``, ``stopped``) is reset at the start of each call, and
+    the caller owns the lifetime via :meth:`close`.  A run that stopped
+    early still rebuilds the pool — cancelled tasks keep running in
+    the workers and teardown is the only way to reclaim the slots.
     """
 
     def __init__(
@@ -428,6 +436,7 @@ class PoolSupervisor:
         initializer=None,
         initargs: tuple = (),
         observer=NULL_OBSERVER,
+        persistent: bool = False,
     ) -> None:
         self.ctx = ctx
         self.processes = processes
@@ -436,6 +445,7 @@ class PoolSupervisor:
         self.initializer = initializer
         self.initargs = initargs
         self.obs = observer
+        self.persistent = persistent
         #: task indices whose retries were exhausted (caller re-runs
         #: these serially); cleared when the run stopped early instead
         self.fallback: list[int] = []
@@ -511,8 +521,18 @@ class PoolSupervisor:
         self._payloads = dict(payloads)
         self._on_result = on_result
         self.states = {i: _TaskState(index=i) for i in self._payloads}
+        self.fallback = []
+        self.stopped = False
+        self.cancelled = 0
+        self.acct = {
+            "tasks_failed": 0,
+            "tasks_retried": 0,
+            "tasks_timeout": 0,
+            "workers_lost": 0,
+        }
         outstanding = set(self.states)
-        self._new_pool()
+        if self.pool is None:
+            self._new_pool()
         try:
             for index in sorted(outstanding):
                 self._submit(self.states[index])
@@ -525,11 +545,18 @@ class PoolSupervisor:
                 if not progressed:
                     time.sleep(_POLL_INTERVAL)
         finally:
-            # stale duplicate attempts may still be running; never wait
-            self._teardown_pool()
+            # stale duplicate attempts may still be running; never wait.
+            # A persistent pool survives a clean run, but a stopped run
+            # leaves cancelled tasks occupying worker slots — rebuild.
+            if not self.persistent or self.stopped:
+                self._teardown_pool()
         self.cancelled = len(outstanding) if self.stopped else 0
         if self.stopped:
             self.fallback = []
+
+    def close(self) -> None:
+        """Tear the pool down (persistent supervisors only need this)."""
+        self._teardown_pool()
 
     def _collect(self, outstanding: set) -> bool:
         """Harvest ready handles; returns whether anything completed."""

@@ -13,7 +13,7 @@ instrumentation cost ~nothing when observability is off.
 See docs/OBSERVABILITY.md for the trace schema and metric names.
 """
 
-from .export import to_prometheus
+from .export import service_families, to_prometheus
 from .metrics import Histogram, MetricsRegistry, PhaseStat
 from .observer import NULL_OBSERVER, NullObserver, Observer
 from .profile import format_profile, memo_rates
@@ -59,6 +59,7 @@ __all__ = [
     "parse_progress_spec",
     "format_profile",
     "memo_rates",
+    "service_families",
     "to_prometheus",
     "MANIFEST_SCHEMA_VERSION",
     "MANIFEST_SCHEMAS",

@@ -43,14 +43,28 @@ def _fmt(value) -> str:
     return repr(value) if isinstance(value, float) else str(value)
 
 
-def to_prometheus(manifest: dict) -> str:
+def to_prometheus(manifest: dict, service: dict | None = None) -> str:
     """Render a run manifest in the Prometheus text exposition format.
 
     Every sample carries ``program`` and ``model`` labels; registry
     metric names ride in a ``name`` label under a fixed family per
     kind (counter / gauge / histogram / phase), so arbitrary
     registry keys can't produce malformed metric names.
+
+    ``service`` optionally appends the verification service's job
+    families (see :func:`service_families`); the server's ``/metrics``
+    endpoint passes an empty manifest plus its live service stats, in
+    which case the per-run families are skipped entirely.
     """
+    lines: list[str] = []
+    if manifest:
+        lines.extend(_run_lines(manifest))
+    if service is not None:
+        lines.extend(service_families(service))
+    return "\n".join(lines) + "\n"
+
+
+def _run_lines(manifest: dict) -> list[str]:
     labels = (
         f'program="{_escape(manifest.get("program") or "")}"'
         f',model="{_escape(manifest.get("model") or "")}"'
@@ -180,4 +194,46 @@ def to_prometheus(manifest: dict) -> str:
                     f'{family}{{{labels},phase="{_escape(name)}"}} '
                     f"{_fmt(value)}"
                 )
-    return "\n".join(lines) + "\n"
+    return lines
+
+
+def service_families(service: dict) -> list[str]:
+    """The verification service's metric families.
+
+    ``service`` is the plain dict a running server maintains:
+    ``jobs`` (state name → count of jobs that *reached* that state),
+    ``queue_depth``, ``inflight``, ``cache_hits``, plus optional
+    ``submitted``/``rejected``/``executions``/``uptime_seconds``.
+    Absent keys render as zero so scrapes are shape-stable.
+    """
+    lines: list[str] = []
+    family = f"{_PREFIX}_service_jobs_total"
+    lines.append(f"# HELP {family} Jobs by terminal state.")
+    lines.append(f"# TYPE {family} counter")
+    jobs = service.get("jobs", {})
+    for state in sorted(set(jobs) | {"done", "failed", "cancelled"}):
+        lines.append(
+            f'{family}{{state="{_escape(state)}"}} '
+            f"{_fmt(jobs.get(state, 0))}"
+        )
+    for name, help_, type_ in (
+        ("queue_depth", "Jobs waiting in the queue.", "gauge"),
+        ("inflight", "Jobs currently executing.", "gauge"),
+        ("submitted", "Jobs accepted since start.", "counter"),
+        ("rejected", "Submissions rejected by backpressure.", "counter"),
+        ("cache_hits", "Suite tasks served from the result cache.",
+         "counter"),
+        ("executions", "Consistent executions explored for jobs.",
+         "counter"),
+    ):
+        family = f"{_PREFIX}_service_{name}"
+        if type_ == "counter":
+            family += "_total"
+        lines.append(f"# HELP {family} {help_}")
+        lines.append(f"# TYPE {family} {type_}")
+        lines.append(f"{family} {_fmt(service.get(name, 0))}")
+    family = f"{_PREFIX}_service_uptime_seconds"
+    lines.append(f"# HELP {family} Seconds since the server started.")
+    lines.append(f"# TYPE {family} gauge")
+    lines.append(f"{family} {_fmt(round(service.get('uptime_seconds', 0.0), 3))}")
+    return lines

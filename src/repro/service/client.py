@@ -1,0 +1,201 @@
+"""A stdlib (urllib) client for the verification service.
+
+>>> client = ServiceClient("http://127.0.0.1:8321")
+>>> job = client.submit({"kind": "litmus", "test": "SB", "model": "tso"})
+>>> result = client.wait(job["id"])
+>>> result["verdict"]["observed"]
+True
+
+``wait`` rides the NDJSON event stream when it can (one long-poll
+connection, live progress via the ``on_event`` callback) and falls
+back to status polling if the stream drops.  Errors surface as
+:class:`ServiceError` carrying the HTTP status — a 429 also carries
+the server's ``Retry-After`` hint as ``retry_after``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from urllib import error as urlerror
+from urllib import request as urlrequest
+
+#: environment override for the default service URL
+SERVICE_URL_ENV = "REPRO_SERVICE_URL"
+
+DEFAULT_URL = "http://127.0.0.1:8321"
+
+
+def default_url() -> str:
+    return os.environ.get(SERVICE_URL_ENV, DEFAULT_URL)
+
+
+class ServiceError(Exception):
+    """An HTTP-level failure; ``status`` is the response code (0 when
+    the server was unreachable)."""
+
+    def __init__(
+        self,
+        message: str,
+        status: int = 0,
+        retry_after: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
+
+
+class ServiceClient:
+    """Submit, watch and fetch verification jobs over HTTP."""
+
+    def __init__(self, url: str | None = None, timeout: float = 30.0):
+        self.url = (url or default_url()).rstrip("/")
+        self.timeout = timeout
+
+    # -- transport --------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        timeout: float | None = None,
+    ):
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        req = urlrequest.Request(
+            self.url + path, data=data, headers=headers, method=method
+        )
+        try:
+            return urlrequest.urlopen(
+                req, timeout=timeout if timeout is not None else self.timeout
+            )
+        except urlerror.HTTPError as exc:
+            raise self._service_error(exc) from None
+        except urlerror.URLError as exc:
+            raise ServiceError(
+                f"service unreachable at {self.url}: {exc.reason}"
+            ) from None
+
+    @staticmethod
+    def _service_error(exc: urlerror.HTTPError) -> ServiceError:
+        try:
+            message = json.loads(exc.read()).get("error", str(exc))
+        except (ValueError, OSError):
+            message = str(exc)
+        retry_after = exc.headers.get("Retry-After")
+        return ServiceError(
+            message,
+            status=exc.code,
+            retry_after=float(retry_after) if retry_after else None,
+        )
+
+    def _json(self, method: str, path: str, body: dict | None = None):
+        with self._request(method, path, body) as response:
+            return json.loads(response.read())
+
+    def _text(self, path: str) -> str:
+        with self._request("GET", path) as response:
+            return response.read().decode()
+
+    # -- the API ----------------------------------------------------------
+
+    def submit(self, payload: dict) -> dict:
+        """POST a submit payload; returns the job status document."""
+        return self._json("POST", "/v1/jobs", payload)
+
+    def status(self, job_id: str) -> dict:
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        """The final result document (raises 409 until terminal)."""
+        return self._json("GET", f"/v1/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._json("DELETE", f"/v1/jobs/{job_id}")
+
+    def list_jobs(self, limit: int = 100) -> list[dict]:
+        return self._json("GET", f"/v1/jobs?limit={limit}")["jobs"]
+
+    def metrics(self) -> str:
+        """The raw Prometheus exposition text."""
+        return self._text("/metrics")
+
+    def health(self) -> bool:
+        try:
+            return self._text("/healthz").strip() == "ok"
+        except ServiceError:
+            return False
+
+    def ready(self) -> bool:
+        """False while the server is draining (or down)."""
+        try:
+            return self._text("/readyz").strip() == "ready"
+        except ServiceError:
+            return False
+
+    # -- watching ---------------------------------------------------------
+
+    def stream(self, job_id: str, since: int = 0, timeout: float = 300.0):
+        """Yield progress events as dicts (one NDJSON connection).
+
+        The generator ends when the server closes the stream — at job
+        completion or at the requested ``timeout``.
+        """
+        path = f"/v1/jobs/{job_id}/events?since={since}&timeout={timeout}"
+        with self._request("GET", path, timeout=timeout + 10.0) as response:
+            for raw in response:
+                line = raw.strip()
+                if line:
+                    yield json.loads(line)
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float | None = None,
+        poll: float = 0.25,
+        on_event=None,
+    ) -> dict:
+        """Block until the job is terminal; return the result document.
+
+        Streams events (invoking ``on_event(event)`` per record) and
+        falls back to polling if the stream breaks.  A failed job
+        raises :class:`ServiceError` with the job's error; a cancelled
+        one raises with status 409.
+        """
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        cursor = 0
+        while True:
+            remaining = 300.0
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ServiceError(
+                        f"timed out waiting for job {job_id}"
+                    )
+            try:
+                for event in self.stream(
+                    job_id, since=cursor, timeout=min(remaining, 300.0)
+                ):
+                    cursor = max(cursor, event.get("seq", cursor))
+                    if on_event is not None:
+                        on_event(event)
+            except (ServiceError, OSError, ValueError):
+                time.sleep(poll)  # stream broke; fall back to polling
+            status = self.status(job_id)
+            if status["state"] in ("done", "failed", "cancelled"):
+                break
+        if status["state"] == "done":
+            return self.result(job_id)
+        if status["state"] == "failed":
+            raise ServiceError(
+                status.get("error") or f"job {job_id} failed", status=500
+            )
+        raise ServiceError(f"job {job_id} was cancelled", status=409)

@@ -1,0 +1,102 @@
+"""A bounded, thread-safe priority job queue with backpressure.
+
+Ordering is strict priority first (high < normal < low), FIFO within a
+priority — a monotonically increasing sequence number breaks ties, so
+two normal-priority jobs always run in submission order and a stream
+of high-priority work can never reorder itself.
+
+Capacity is a hard bound: :meth:`JobQueue.put` raises
+:class:`QueueFull` instead of blocking, and the server turns that into
+``429 Too Many Requests`` with a ``Retry-After`` hint.  An HTTP intake
+that blocked would tie up handler threads and hide the overload from
+clients; rejecting loudly is the backpressure contract.
+
+Cancellation is lazy: a queued job that was cancelled stays in the
+heap but is skipped (and not counted) when popped — O(1) cancel, no
+heap surgery.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+
+from .protocol import QUEUED
+
+
+class QueueFull(Exception):
+    """The queue is at capacity; retry after ``retry_after`` seconds."""
+
+    def __init__(self, capacity: int, retry_after: float) -> None:
+        super().__init__(f"queue full ({capacity} jobs)")
+        self.capacity = capacity
+        self.retry_after = retry_after
+
+
+class JobQueue:
+    """Bounded priority queue of :class:`~repro.service.protocol.Job`."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._heap: list = []
+        self._cond = threading.Condition()
+        self._seq = itertools.count()
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._cond:
+            return self._depth()
+
+    def _depth(self) -> int:
+        # cancelled jobs still sit in the heap but are not queued work
+        return sum(1 for _, _, job in self._heap if job.state == QUEUED)
+
+    @property
+    def depth(self) -> int:
+        return len(self)
+
+    def empty(self) -> bool:
+        return len(self) == 0
+
+    def put(self, job, retry_after: float = 1.0) -> None:
+        """Enqueue ``job`` or raise :class:`QueueFull`.
+
+        ``retry_after`` is the hint to embed in the rejection — the
+        server estimates it from recent job durations.
+        """
+        with self._cond:
+            if self._closed:
+                raise QueueFull(self.capacity, retry_after)
+            if self._depth() >= self.capacity:
+                raise QueueFull(self.capacity, retry_after)
+            heapq.heappush(
+                self._heap,
+                (job.submission.priority, next(self._seq), job),
+            )
+            self._cond.notify()
+
+    def get(self, timeout: float | None = None):
+        """Pop the next queued job, or None on timeout/closed-empty.
+
+        Jobs cancelled while queued are discarded silently here; the
+        cancel path already moved their state machine.
+        """
+        with self._cond:
+            while True:
+                while self._heap:
+                    _, _, job = heapq.heappop(self._heap)
+                    if job.state == QUEUED:
+                        return job
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout):
+                    return None
+
+    def close(self) -> None:
+        """Stop intake and wake blocked getters (drain/shutdown)."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

@@ -21,6 +21,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 import time
 
 from ..core.config import ExplorationOptions
@@ -35,6 +36,10 @@ CACHE_ENTRY_KIND = "repro-suite-cache-entry"
 
 #: environment override for the cache directory
 CACHE_DIR_ENV = "REPRO_SUITE_CACHE_DIR"
+
+#: environment override for the cache size cap, in megabytes (unset or
+#: empty = unlimited) — a long-lived server prunes after every store
+CACHE_MAX_MB_ENV = "REPRO_SUITE_CACHE_MAX_MB"
 
 DEFAULT_CACHE_DIR = os.path.join(".repro", "suite-cache")
 
@@ -110,15 +115,36 @@ def task_key(
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
-class ResultCache:
-    """A flat directory of content-addressed suite task results."""
+def _env_max_mb() -> float | None:
+    raw = os.environ.get(CACHE_MAX_MB_ENV)
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value >= 0 else None
 
-    def __init__(self, root: str | None = None) -> None:
+
+class ResultCache:
+    """A flat directory of content-addressed suite task results.
+
+    ``max_mb`` caps the directory's total size: after every
+    :meth:`store` the least-recently-written entries (LRU by file
+    mtime) are pruned until the cap holds again, so a long-lived
+    server cannot grow the cache without bound.  ``None`` defers to
+    ``REPRO_SUITE_CACHE_MAX_MB`` (unset = unlimited).
+    """
+
+    def __init__(
+        self, root: str | None = None, max_mb: float | None = None
+    ) -> None:
         self.root = (
             root
             if root is not None
             else os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
         )
+        self.max_mb = max_mb if max_mb is not None else _env_max_mb()
 
     def path(self, key: str) -> str:
         return os.path.join(self.root, f"{key}.json")
@@ -178,12 +204,56 @@ class ResultCache:
             "result": to_dict(result),
         }
         path = self.path(key)
-        tmp = f"{path}.tmp"
-        with open(tmp, "w") as handle:
-            json.dump(entry, handle, sort_keys=True)
-            handle.write("\n")
-        os.replace(tmp, path)
+        # the tmp name carries the pid and thread id so no two writers
+        # storing the same key ever share a tmp file; os.replace makes
+        # the publish atomic either way (last writer wins, and a reader
+        # only ever sees a complete entry)
+        tmp = f"{path}.{os.getpid()}.{threading.get_ident()}.tmp"
+        try:
+            with open(tmp, "w") as handle:
+                json.dump(entry, handle, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):  # pragma: no cover - error path
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
+        if self.max_mb is not None:
+            self.prune()
         return path
+
+    def prune(self, max_mb: float | None = None) -> int:
+        """Evict least-recently-written entries until the directory is
+        within ``max_mb`` (defaults to the cache's cap); returns how
+        many entries were removed.  Concurrent pruners racing over the
+        same files are harmless — a vanished file just counts as
+        already pruned."""
+        cap = self.max_mb if max_mb is None else max_mb
+        if cap is None:
+            return 0
+        entries = []
+        for key in self.keys():
+            path = self.path(key)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        total = sum(size for _, size, _ in entries)
+        budget = cap * 1024 * 1024
+        removed = 0
+        for _, size, path in sorted(entries):
+            if total <= budget:
+                break
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        return removed
 
     def evict(self, key: str) -> bool:
         """Drop one entry; returns whether it existed."""

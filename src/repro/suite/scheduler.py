@@ -247,6 +247,7 @@ def run_suite(
     shard_threshold: int = DEFAULT_SHARD_THRESHOLD,
     estimate_walks: int = DEFAULT_ESTIMATE_WALKS,
     seed: int = 0,
+    supervisor: PoolSupervisor | None = None,
 ) -> SuiteResult:
     """Run every task in ``tasks`` through one shared worker pool.
 
@@ -258,6 +259,11 @@ def run_suite(
     recomputes everything; ``rerun_failed`` recomputes only tasks whose
     cached result has errors or was truncated.  ``task_timeout`` /
     ``task_retries`` are the pool's PR-3 fault knobs.
+
+    ``supervisor`` lets a long-lived caller (the verification service)
+    pass its own persistent :class:`~repro.core.parallel.PoolSupervisor`
+    so worker processes stay warm across suites; the caller owns its
+    lifetime, and this run sets its timeout/retry knobs and observer.
     """
     tasks = list(tasks)
     start = time.perf_counter()
@@ -290,6 +296,12 @@ def run_suite(
                     served = None
         if served is not None:
             results[pos] = served
+            if obs.trace_enabled:
+                obs.emit(
+                    "suite_task_cached",
+                    task=task.id,
+                    executions=served.result.executions,
+                )
         else:
             plans.append(_Plan(pos=pos, task=task, key=key))
 
@@ -330,6 +342,15 @@ def run_suite(
             verdict=verdict,
             expected=_expected(task),
         )
+        if obs.trace_enabled:
+            obs.emit(
+                "suite_task_done",
+                task=task.id,
+                shards=shards,
+                executions=merged.executions,
+                errors=len(merged.errors),
+                observed=verdict.observed if verdict is not None else None,
+            )
 
     # -- size and shard the misses ---------------------------------------
     for plan in plans:
@@ -414,14 +435,21 @@ def run_suite(
     if jobs > 1 and pool_jobs:
         if obs.trace_enabled:
             obs.emit("suite_dispatch", tasks=pool_jobs, jobs=jobs)
-        ctx = multiprocessing.get_context()
-        supervisor = PoolSupervisor(
-            ctx,
-            processes=min(jobs, pool_jobs),
-            task_timeout=task_timeout,
-            task_retries=task_retries,
-            observer=obs,
-        )
+        if supervisor is not None:
+            # a persistent supervisor shared across suites: this run
+            # owns its knobs and observer, the caller owns its lifetime
+            supervisor.task_timeout = task_timeout
+            supervisor.task_retries = task_retries
+            supervisor.obs = obs
+        else:
+            ctx = multiprocessing.get_context()
+            supervisor = PoolSupervisor(
+                ctx,
+                processes=min(jobs, pool_jobs),
+                task_timeout=task_timeout,
+                task_retries=task_retries,
+                observer=obs,
+            )
 
         def _payload(job: int):
             plan, _shard, options, prefix = specs[job]

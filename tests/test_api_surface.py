@@ -54,6 +54,10 @@ PUBLIC_API = [
     # observability
     "Observer",
     "ProgressReporter",
+    # the verification service
+    "ServiceClient",
+    "ServiceError",
+    "serve",
     "__version__",
 ]
 
