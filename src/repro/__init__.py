@@ -76,7 +76,7 @@ from .suite import (
 )
 
 # observability ---------------------------------------------------------
-from .obs import Observer, ProgressReporter
+from .obs import Observer, ProgressReporter, SpanTracer
 
 # the verification service ----------------------------------------------
 from .service import ServiceClient, ServiceError, serve
@@ -124,6 +124,7 @@ __all__ = [
     # observability
     "Observer",
     "ProgressReporter",
+    "SpanTracer",
     # the verification service
     "ServiceClient",
     "ServiceError",

@@ -24,6 +24,13 @@
                                          # per-phase times, JSONL trace,
                                          # stderr heartbeat
     hmc trace-summary run.jsonl          # paper-style table from a trace
+    hmc verify SB --model tso --jobs 2 --spans-out spans.jsonl
+                                         # span trace across coordinator
+                                         # and worker processes
+    hmc trace export spans.jsonl -o trace.json   # Perfetto trace JSON
+    hmc trace export --job <id> --perfetto -o trace.json
+                                         # trace of a server job
+    hmc trace flame spans.jsonl          # terminal flamegraph
     hmc verify SB --model tso --stats --jobs 2 --save-run
                                          # profiled run, manifest stored
                                          # under .repro/runs/
@@ -50,6 +57,7 @@
 from __future__ import annotations
 
 import argparse
+import os
 import re
 import sys
 
@@ -66,9 +74,11 @@ from .litmus.parser import parse_litmus
 from .models import get_model, model_names
 from .obs import (
     NULL_OBSERVER,
+    NULL_TRACER,
     FileSink,
     Observer,
     ProgressReporter,
+    SpanTracer,
     TraceWriter,
     format_summary,
     summarize_file,
@@ -113,10 +123,12 @@ def _observer_from_args(args) -> Observer | None:
     stats = getattr(args, "stats", False)
     trace_out = getattr(args, "trace_out", None)
     progress = getattr(args, "progress", None)
+    spans_out = getattr(args, "spans_out", None)
     if (
         not stats
         and trace_out is None
         and progress is None
+        and spans_out is None
         and not _wants_manifest(args)
     ):
         return None
@@ -130,7 +142,8 @@ def _observer_from_args(args) -> Observer | None:
         except OSError as exc:
             print(f"cannot write trace to {trace_out}: {exc}", file=sys.stderr)
             raise SystemExit(2)
-    return Observer(trace=trace, progress=reporter)
+    tracer = SpanTracer() if spans_out is not None else None
+    return Observer(trace=trace, progress=reporter, tracer=tracer)
 
 
 def _first_sentence(doc: str | None) -> str:
@@ -256,13 +269,21 @@ def _cmd_verify(args) -> int:
     if backend_name == "hmc" and effective_jobs(options) > 1:
         backend_name = "hmc-parallel"
     observer = _observer_from_args(args)
+    tracer = observer.tracer if observer is not None else NULL_TRACER
     try:
-        result = get_backend(backend_name).run(
-            program,
-            model,
-            options,
-            observer if observer is not None else NULL_OBSERVER,
-        )
+        with tracer.span(
+            f"verify:{args.family}",
+            cat="run",
+            model=args.model,
+            backend=backend_name,
+            jobs=effective_jobs(options),
+        ):
+            result = get_backend(backend_name).run(
+                program,
+                model,
+                options,
+                observer if observer is not None else NULL_OBSERVER,
+            )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -278,6 +299,21 @@ def _cmd_verify(args) -> int:
             print(format_profile(observer.metrics_snapshot()))
     if args.trace_out:
         print(f"trace written to {args.trace_out}")
+    spans_out = getattr(args, "spans_out", None)
+    if spans_out and tracer.enabled:
+        from .obs import write_spans
+
+        try:
+            count = write_spans(spans_out, tracer.snapshot())
+        except OSError as exc:
+            print(
+                f"cannot write spans to {spans_out}: {exc}", file=sys.stderr
+            )
+            return 2
+        print(
+            f"{count} spans written to {spans_out} "
+            f"(trace {tracer.trace_id}; see `hmc trace export|flame`)"
+        )
     if observer is not None and _wants_manifest(args):
         _export_run(args, result, observer)
     if result.errors:
@@ -304,6 +340,9 @@ def _export_run(args, result, observer) -> None:
         observer.metrics_snapshot(),
         command=" ".join(sys.argv[1:]) if sys.argv[1:] else None,
         jobs=result.meta.get("jobs", 1),
+        spans=(
+            observer.tracer.snapshot() if observer.tracer.enabled else None
+        ),
     )
     if getattr(args, "save_run", False):
         path = RunStore(getattr(args, "runs_dir", None)).save(manifest)
@@ -404,6 +443,74 @@ def _cmd_cat_check(args) -> int:
             suffix = f" ({warnings} warning(s))" if warnings else ""
             print(f"{path}: ok{suffix}")
     return 1 if error_count else 0
+
+
+def _cmd_trace(args) -> int:
+    """`hmc trace export|flame` — span-trace exporters.
+
+    Spans come either from a JSONL file (``verify --spans-out``, or a
+    dumped service event stream — ``t="span"`` records are picked out)
+    or live from a server job via ``--job ID``.
+    """
+    import json
+
+    from .obs import format_flame, read_spans, to_perfetto
+
+    if bool(getattr(args, "job", None)) == bool(args.path):
+        print(
+            "give exactly one span source: a PATH or --job ID",
+            file=sys.stderr,
+        )
+        return 2
+    trace_id = None
+    if getattr(args, "job", None):
+        from .service import ServiceClient, ServiceError
+
+        try:
+            doc = ServiceClient(args.url).spans(args.job)
+        except ServiceError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        spans = doc.get("spans", [])
+        trace_id = doc.get("trace_id")
+        if doc.get("state") not in ("done", "failed"):
+            print(
+                f"note: job {args.job} is {doc.get('state')}; "
+                "the span tree is still partial",
+                file=sys.stderr,
+            )
+    else:
+        try:
+            spans = read_spans(args.path)
+        except OSError as exc:
+            print(f"cannot read {args.path}: {exc}", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"malformed span file: {exc}", file=sys.stderr)
+            return 2
+    if not spans:
+        print("no spans in the source", file=sys.stderr)
+        return 1
+    if args.trace_command == "flame":
+        print(format_flame(spans, width=args.width, min_frac=args.min_frac))
+        return 0
+    doc = to_perfetto(spans, trace_id=trace_id)
+    text = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        try:
+            with open(args.out, "w") as handle:
+                handle.write(text)
+        except OSError as exc:
+            print(f"cannot write {args.out}: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"{len(doc['traceEvents'])} events written to {args.out} "
+            "(load in https://ui.perfetto.dev or chrome://tracing)",
+            file=sys.stderr,
+        )
+    else:
+        sys.stdout.write(text)
+    return 0
 
 
 def _cmd_trace_summary(args) -> int:
@@ -934,6 +1041,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a JSONL exploration trace (see `hmc trace-summary`)",
     )
     verify_p.add_argument(
+        "--spans-out",
+        metavar="PATH",
+        help="record a span trace (JSONL) across coordinator and worker "
+        "processes, for `hmc trace export|flame`",
+    )
+    verify_p.add_argument(
         "--progress",
         type=float,
         nargs="?",
@@ -1021,6 +1134,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cat_check.add_argument(
         "paths", nargs="+", metavar="FILE", help=".cat files to lint"
+    )
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="export and visualise span traces (see docs/OBSERVABILITY.md)",
+    )
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+    trace_export = trace_sub.add_parser(
+        "export",
+        help="convert spans to Chrome/Perfetto trace-event JSON",
+    )
+    trace_flame = trace_sub.add_parser(
+        "flame", help="render spans as a terminal flamegraph"
+    )
+    for trace_cmd in (trace_export, trace_flame):
+        trace_cmd.add_argument(
+            "path",
+            nargs="?",
+            help="span JSONL (from `verify --spans-out` or a dumped "
+            "service event stream)",
+        )
+        trace_cmd.add_argument(
+            "--job",
+            metavar="ID",
+            help="fetch spans from a verification-service job instead "
+            "of a file",
+        )
+        trace_cmd.add_argument(
+            "--url",
+            default=None,
+            help="service URL for --job (default: $REPRO_SERVICE_URL "
+            "or http://127.0.0.1:8321)",
+        )
+    trace_export.add_argument(
+        "--perfetto",
+        action="store_true",
+        help="emit Chrome/Perfetto trace-event JSON (the default and "
+        "currently only format)",
+    )
+    trace_export.add_argument(
+        "-o",
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the document to PATH (default: stdout)",
+    )
+    trace_flame.add_argument(
+        "--width", type=int, default=30, help="bar width in characters"
+    )
+    trace_flame.add_argument(
+        "--min-frac",
+        type=float,
+        default=0.0,
+        metavar="FRAC",
+        help="hide subtrees below this fraction of total time",
     )
 
     trace_summary = sub.add_parser(
@@ -1409,6 +1577,7 @@ _COMMANDS = {
     "estimate": _cmd_estimate,
     "experiment": _cmd_experiment,
     "cat-check": _cmd_cat_check,
+    "trace": _cmd_trace,
     "trace-summary": _cmd_trace_summary,
     "runs": _cmd_runs,
     "suite": _cmd_suite,
@@ -1428,6 +1597,12 @@ def main(argv: list[str] | None = None) -> int:
         sys.stderr.write("\ninterrupted\n")
         sys.stderr.flush()
         return 130
+    except BrokenPipeError:
+        # downstream consumer (| head, | less) closed the pipe; point
+        # stdout at devnull so interpreter shutdown doesn't re-raise
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -70,6 +70,7 @@ from ..graphs import ExecutionGraph
 from ..lang import Program
 from ..models import MemoryModel, get_model
 from ..obs import NULL_OBSERVER, FileSink, Observer, read_trace_prefix
+from ..obs.spans import NULL_TRACER, SpanTracer
 from ..obs.profile import activation as _profile_activation
 from .config import ExplorationOptions
 from .explorer import Explorer, _SearchLimit, effective_jobs
@@ -77,12 +78,16 @@ from .result import VerificationResult, merge_phase_times
 
 #: a pickled unit of work: (task index, attempt number, program, model
 #: spec, options, subtree prefix graph, worker trace path or None,
-#: collect-metrics flag).  The model spec is the registry name for
-#: registered models, and the pickled model object itself otherwise
-#: (e.g. a CatModel loaded from a ``.cat`` file) — workers hand either
-#: form to the Explorer.  When the collect-metrics flag is set the
-#: worker runs observed (even without tracing) and returns a picklable
-#: metrics snapshot for the coordinator to fold back.
+#: collect-metrics flag, span context or None).  The model spec is the
+#: registry name for registered models, and the pickled model object
+#: itself otherwise (e.g. a CatModel loaded from a ``.cat`` file) —
+#: workers hand either form to the Explorer.  When the collect-metrics
+#: flag is set the worker runs observed (even without tracing) and
+#: returns a picklable metrics snapshot for the coordinator to fold
+#: back.  The span context is the coordinator's propagation token
+#: (``{"trace_id", "span_id"}``, see :mod:`repro.obs.spans`): when
+#: present the worker records spans for its subtree under that parent
+#: and returns them alongside the snapshot.
 SubtreeTask = tuple[
     int,
     int,
@@ -92,6 +97,7 @@ SubtreeTask = tuple[
     ExecutionGraph,
     "str | None",
     bool,
+    "dict | None",
 ]
 
 
@@ -290,35 +296,51 @@ def _maybe_inject_fault(index: int, attempt: int) -> None:
 
 def _run_subtree(
     task: SubtreeTask,
-) -> tuple[int, int, VerificationResult, "dict | None"]:
+) -> tuple[int, int, VerificationResult, "dict | None", "list | None"]:
     """Worker entry point: explore one subtree prefix to exhaustion.
 
-    Returns ``(index, attempt, result, metrics snapshot)`` — the
-    snapshot is a plain picklable dict (or None when the coordinator
-    runs unobserved) the coordinator merges into its own registry, so
-    worker-side counters/histograms survive the process boundary.
+    Returns ``(index, attempt, result, metrics snapshot, spans)`` —
+    the snapshot is a plain picklable dict (or None when the
+    coordinator runs unobserved) the coordinator merges into its own
+    registry, so worker-side counters/histograms survive the process
+    boundary; ``spans`` (or None when untraced) are this subtree's
+    finished span records, folded back with ``tracer.absorb`` so one
+    trace_id covers coordinator and workers.
     """
     index, attempt, program, model_spec, options, prefix, trace_path, \
-        collect_metrics = task
+        collect_metrics, span_ctx = task
     _maybe_inject_fault(index, attempt)
+    tracer = NULL_TRACER
+    if span_ctx is not None:
+        tracer = SpanTracer(
+            trace_id=span_ctx["trace_id"],
+            remote_parent=span_ctx["span_id"],
+        )
     observer = NULL_OBSERVER
     if trace_path is not None:
         observer = Observer.to_file(trace_path)
-    elif collect_metrics:
-        observer = Observer()
+        if tracer.enabled:
+            observer.tracer = tracer
+            observer.metrics.tracer = tracer
+    elif collect_metrics or tracer.enabled:
+        observer = Observer(tracer=tracer)
     try:
-        result = Explorer(
-            program,
-            model_spec,
-            options,
-            observer=observer,
-            root=prefix,
-            budget=_WORKER_BUDGET,
-        ).run()
+        with tracer.span(
+            f"subtree:{index}", cat="worker", task=index, attempt=attempt
+        ):
+            result = Explorer(
+                program,
+                model_spec,
+                options,
+                observer=observer,
+                root=prefix,
+                budget=_WORKER_BUDGET,
+            ).run()
     finally:
         observer.close()
     snapshot = observer.metrics_snapshot() if collect_metrics else None
-    return index, attempt, result, snapshot
+    spans = tracer.snapshot() if tracer.enabled else None
+    return index, attempt, result, snapshot, spans
 
 
 # -- coordinator side ------------------------------------------------------
@@ -748,6 +770,16 @@ def verify_parallel(
         )
         collect_metrics = obs.enabled
         model_spec = _model_spec(model)
+        # the propagation token workers parent their subtree spans on;
+        # None (no tracer) keeps the task payload span-free.  With a
+        # tracer but no active span the workers still join the trace,
+        # their subtree spans becoming roots of it.
+        span_ctx = None
+        if obs.tracer.enabled:
+            span_ctx = obs.tracer.current_context() or {
+                "trace_id": obs.tracer.trace_id,
+                "span_id": None,
+            }
 
         def _payload(index: int, prefix: ExecutionGraph):
             def make(attempt: int) -> SubtreeTask:
@@ -760,15 +792,18 @@ def verify_parallel(
                     prefix,
                     _trace_path(trace_base, index, attempt),
                     collect_metrics,
+                    span_ctx,
                 )
 
             return make
 
         def _on_result(index: int, value) -> bool:
-            _, attempt, result, snapshot = value
+            _, attempt, result, snapshot, spans = value
             worker_results[index] = result
             if snapshot is not None:
                 snapshots[index] = snapshot
+            if spans:
+                obs.tracer.absorb(spans)
             path = _trace_path(trace_base, index, attempt)
             if path is not None:
                 winning_paths[index] = path
@@ -793,15 +828,24 @@ def verify_parallel(
             # Counters/histograms travel by snapshot, like a worker's.
             fb_obs = NULL_OBSERVER
             if obs.enabled:
-                fb_obs = Observer(trace=obs.trace if obs.trace_enabled else None)
-            worker_results[index] = Explorer(
-                program,
-                model,
-                worker_options,
-                observer=fb_obs,
-                root=frontier[index],
-                budget=budget,
-            ).run()
+                # the coordinator's tracer is shared (spans are append-
+                # only, unlike phase timers, so no double-count risk):
+                # the fallback subtree's phases land on the same trace
+                fb_obs = Observer(
+                    trace=obs.trace if obs.trace_enabled else None,
+                    tracer=obs.tracer if obs.tracer.enabled else None,
+                )
+            with obs.tracer.span(
+                f"subtree:{index}", cat="worker", task=index, fallback=True
+            ):
+                worker_results[index] = Explorer(
+                    program,
+                    model,
+                    worker_options,
+                    observer=fb_obs,
+                    root=frontier[index],
+                    budget=budget,
+                ).run()
             if fb_obs.enabled:
                 snapshots[index] = fb_obs.metrics_snapshot()
             if options.stop_on_error and worker_results[index].errors:

@@ -30,6 +30,22 @@ from .runstore import (
     format_check,
     format_diff,
 )
+from .spans import (
+    NULL_TRACER,
+    SPAN_SCHEMA_VERSION,
+    FlameNode,
+    NullTracer,
+    SpanTracer,
+    flame_tree,
+    format_flame,
+    make_span,
+    new_trace_id,
+    read_spans,
+    span_summary,
+    to_perfetto,
+    validate_perfetto,
+    write_spans,
+)
 from .summary import (
     TraceSummary,
     format_phase_table,
@@ -71,6 +87,20 @@ __all__ = [
     "diff_manifests",
     "format_check",
     "format_diff",
+    "NULL_TRACER",
+    "SPAN_SCHEMA_VERSION",
+    "FlameNode",
+    "NullTracer",
+    "SpanTracer",
+    "flame_tree",
+    "format_flame",
+    "make_span",
+    "new_trace_id",
+    "read_spans",
+    "span_summary",
+    "to_perfetto",
+    "validate_perfetto",
+    "write_spans",
     "TraceSummary",
     "format_phase_table",
     "format_summary",

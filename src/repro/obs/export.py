@@ -175,6 +175,25 @@ def _run_lines(manifest: dict) -> list[str]:
         lines.append(f"{family}_sum{{{labels}}} {_fmt(hist.get('total', 0.0))}")
         lines.append(f"{family}_count{{{labels}}} {hist.get('count', 0)}")
 
+    spans = manifest.get("spans", {}) or {}
+    if spans:
+        for field, family_suffix, help_, type_ in (
+            ("seconds", "span_seconds_total",
+             "Total traced seconds per span name.", "counter"),
+            ("calls", "span_calls_total",
+             "Finished spans per span name.", "counter"),
+        ):
+            family = f"{_PREFIX}_{family_suffix}"
+            lines.append(f"# HELP {family} {help_}")
+            lines.append(f"# TYPE {family} {type_}")
+            for name in sorted(spans):
+                entry = spans[name]
+                lines.append(
+                    f'{family}{{{labels},span="{_escape(name)}"'
+                    f',cat="{_escape(entry.get("cat", "span"))}"}} '
+                    f"{_fmt(entry.get(field, 0))}"
+                )
+
     phases = manifest.get("phases", {}) or {}
     if phases:
         for field, family_suffix, help_ in (
@@ -224,6 +243,9 @@ def service_families(service: dict) -> list[str]:
         ("cache_hits", "Suite tasks served from the result cache.",
          "counter"),
         ("executions", "Consistent executions explored for jobs.",
+         "counter"),
+        ("events_dropped",
+         "Progress events evicted from bounded job event rings.",
          "counter"),
     ):
         family = f"{_PREFIX}_service_{name}"

@@ -22,6 +22,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from .spans import NULL_TRACER
+
 
 @dataclass
 class Histogram:
@@ -110,15 +112,23 @@ class PhaseStat:
 class _PhaseContext:
     """Reusable context manager for one phase activation."""
 
-    __slots__ = ("registry", "name", "start", "child_time")
+    __slots__ = ("registry", "name", "start", "child_time", "span")
 
     def __init__(self, registry: MetricsRegistry, name: str) -> None:
         self.registry = registry
         self.name = name
         self.start = 0.0
         self.child_time = 0.0
+        self.span = None
 
     def __enter__(self) -> "_PhaseContext":
+        # co-emit a span per phase activation when a tracer is attached;
+        # the NULL tracer keeps this one attribute check (the <5%
+        # disabled-overhead budget holds: an unobserved run never even
+        # reaches the registry)
+        tracer = self.registry.tracer
+        if tracer.enabled:
+            self.span = tracer._push(self.name, "phase", None)
         self.start = self.registry._clock()
         self.child_time = 0.0
         self.registry._stack.append(self)
@@ -128,6 +138,9 @@ class _PhaseContext:
         registry = self.registry
         duration = registry._clock() - self.start
         registry._stack.pop()
+        if self.span is not None:
+            registry.tracer._pop(self.span)
+            self.span = None
         stat = registry._phases.get(self.name)
         if stat is None:
             stat = registry._phases[self.name] = PhaseStat()
@@ -142,8 +155,11 @@ class _PhaseContext:
 class MetricsRegistry:
     """Counters, gauges, histograms and nested phase timers."""
 
-    def __init__(self, clock=time.perf_counter) -> None:
+    def __init__(self, clock=time.perf_counter, tracer=NULL_TRACER) -> None:
         self._clock = clock
+        #: co-emits a span per phase activation when enabled (see
+        #: repro.obs.spans); NULL_TRACER costs one attribute check
+        self.tracer = tracer
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
         self.histograms: dict[str, Histogram] = {}

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from .metrics import MetricsRegistry
 from .progress import ProgressReporter
+from .spans import NULL_TRACER
 from .trace import FileSink, MemorySink, TraceWriter
 
 
@@ -42,6 +43,8 @@ class NullObserver:
     enabled: bool = False
     #: False ⇒ skip building trace-record fields entirely
     trace_enabled: bool = False
+    #: the span tracer (NULL by default; see repro.obs.spans)
+    tracer = NULL_TRACER
 
     def phase(self, name: str):
         return _NULL_CTX
@@ -86,11 +89,16 @@ class Observer(NullObserver):
         metrics: MetricsRegistry | None = None,
         trace: TraceWriter | None = None,
         progress: ProgressReporter | None = None,
+        tracer=None,
     ) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.trace = trace
         self.progress = progress
         self.trace_enabled = trace is not None
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.tracer.enabled:
+            # phase timers co-emit spans through the registry
+            self.metrics.tracer = self.tracer
 
     # -- construction helpers -------------------------------------------
 

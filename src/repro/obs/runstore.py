@@ -69,12 +69,16 @@ def build_manifest(
     command: str | None = None,
     jobs: int | None = None,
     created: float | None = None,
+    spans: list | None = None,
 ) -> dict:
     """Assemble the versioned manifest for one verification run.
 
     ``result`` is a :class:`~repro.core.result.VerificationResult`;
     ``snapshot`` the observer's ``metrics_snapshot()`` (omitted when
-    the run was unobserved).  The manifest is pure JSON-ready data.
+    the run was unobserved); ``spans`` optionally the run's finished
+    trace spans, folded into a per-name duration summary (the raw
+    spans stay in the ``--spans-out`` file — manifests keep only the
+    aggregate).  The manifest is pure JSON-ready data.
     """
     created = time.time() if created is None else created
     meta = {
@@ -114,6 +118,10 @@ def build_manifest(
             "histograms": dict((snapshot or {}).get("histograms", {})),
         },
     }
+    if spans:
+        from .spans import span_summary
+
+        manifest["spans"] = span_summary(spans)
     return manifest
 
 
@@ -320,9 +328,15 @@ def format_diff(diff: dict) -> str:
             lines.append(f"    {{{key}}}: {pair['old']} -> {pair['new']}")
     elapsed = diff["timing"]["elapsed"]
     ratio = elapsed["ratio"]
+    if ratio is not None:
+        suffix = f" ({ratio:.2f}x)"
+    elif elapsed["new"]:
+        suffix = " (baseline ~0s: ratio n/a)"
+    else:
+        suffix = ""
     lines.append(
         f"  elapsed: {elapsed['old']:.4f}s -> {elapsed['new']:.4f}s"
-        + (f" ({ratio:.2f}x)" if ratio is not None else "")
+        + suffix
     )
     slow = {
         name: pair
@@ -395,6 +409,14 @@ def check_manifest(
             f"elapsed regression: {old:.4f}s -> {new:.4f}s "
             f"({new / old:.2f}x > {max_ratio}x threshold)"
         )
+    elif old < min_seconds <= new:
+        # a ~zero baseline makes the ratio meaningless (and used to
+        # make the gate silently pass); flag it instead of skipping
+        warnings.append(
+            f"elapsed baseline-zero: baseline {old:.4f}s is below the "
+            f"{min_seconds:.2f}s noise floor but current is {new:.4f}s "
+            "— ratio gate not applicable; re-baseline to arm it"
+        )
     pc = current.get("phases", {}) or {}
     pb = baseline.get("phases", {}) or {}
     for name in sorted(set(pc) & set(pb)):
@@ -404,6 +426,12 @@ def check_manifest(
             warnings.append(
                 f"phase {name!r} self-time regression: "
                 f"{old:.4f}s -> {new:.4f}s ({new / old:.2f}x)"
+            )
+        elif old < min_seconds <= new:
+            warnings.append(
+                f"phase {name!r} baseline-zero: baseline {old:.4f}s is "
+                f"below the {min_seconds:.2f}s noise floor but current "
+                f"is {new:.4f}s — ratio gate not applicable"
             )
     return violations, warnings
 

@@ -43,6 +43,9 @@ class TraceSummary:
     tasks_fallback: int = 0
     #: worker trace files whose tail had to be discarded mid-record
     traces_truncated: int = 0
+    #: finished span records interleaved in the trace (service event
+    #: dumps; see repro.obs.spans)
+    spans: int = 0
     #: per-worker ``worker_metrics`` records: worker index -> its
     #: sub-result counts, for the load-balance (skew) line
     workers: dict[int, dict] = field(default_factory=dict)
@@ -132,6 +135,8 @@ def summarize_records(records: Iterable[dict]) -> TraceSummary:
             s.tasks_fallback += 1
         elif t == "trace_truncated":
             s.traces_truncated += 1
+        elif t == "span":
+            s.spans += 1
         elif t == "worker_metrics":
             worker = rec.get("worker")
             if worker is not None:
@@ -204,6 +209,8 @@ def format_summary(s: TraceSummary) -> str:
         lines.append(
             f"  traces   : {s.traces_truncated} worker trace(s) truncated"
         )
+    if s.spans:
+        lines.append(f"spans      : {s.spans} finished span record(s)")
     skew = s.worker_skew
     if skew is not None:
         lines.append(

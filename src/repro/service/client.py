@@ -19,6 +19,8 @@ import json
 import os
 import time
 
+from datetime import timezone
+from email.utils import parsedate_to_datetime
 from urllib import error as urlerror
 from urllib import request as urlrequest
 
@@ -30,6 +32,27 @@ DEFAULT_URL = "http://127.0.0.1:8321"
 
 def default_url() -> str:
     return os.environ.get(SERVICE_URL_ENV, DEFAULT_URL)
+
+
+def _parse_retry_after(value: str | None) -> float | None:
+    """RFC 7231 Retry-After: delta-seconds or an HTTP-date, both of
+    which proxies are free to rewrite — anything unparseable degrades
+    to None rather than raising mid-error-handling."""
+    if not value:
+        return None
+    try:
+        return max(0.0, float(value))
+    except ValueError:
+        pass
+    try:
+        when = parsedate_to_datetime(value)
+    except (TypeError, ValueError):
+        return None
+    if when is None:
+        return None
+    if when.tzinfo is None:
+        when = when.replace(tzinfo=timezone.utc)
+    return max(0.0, when.timestamp() - time.time())
 
 
 class ServiceError(Exception):
@@ -88,11 +111,10 @@ class ServiceClient:
             message = json.loads(exc.read()).get("error", str(exc))
         except (ValueError, OSError):
             message = str(exc)
-        retry_after = exc.headers.get("Retry-After")
         return ServiceError(
             message,
             status=exc.code,
-            retry_after=float(retry_after) if retry_after else None,
+            retry_after=_parse_retry_after(exc.headers.get("Retry-After")),
         )
 
     def _json(self, method: str, path: str, body: dict | None = None):
@@ -115,6 +137,11 @@ class ServiceClient:
     def result(self, job_id: str) -> dict:
         """The final result document (raises 409 until terminal)."""
         return self._json("GET", f"/v1/jobs/{job_id}/result")
+
+    def spans(self, job_id: str) -> dict:
+        """The job's trace spans document (``trace_id`` + finished
+        spans; the full tree once the job is terminal)."""
+        return self._json("GET", f"/v1/jobs/{job_id}/spans")
 
     def cancel(self, job_id: str) -> dict:
         return self._json("DELETE", f"/v1/jobs/{job_id}")

@@ -44,6 +44,7 @@ import time
 import uuid
 
 from ..core.config import ExplorationOptions
+from ..obs.spans import make_span, new_trace_id
 
 #: bump on incompatible changes to the submit/status/result schemas
 PROTOCOL_VERSION = 1
@@ -381,16 +382,37 @@ class Job:
         self.finished: float | None = None
         self.error: str | None = None
         self.payload: dict | None = None
+        #: the job's trace id: every span this job produces — the HTTP
+        #: submit span, the executor's job span, suite-task and worker
+        #: subtree spans — shares it (see repro.obs.spans)
+        self.trace_id = new_trace_id()
+        #: the propagation token the executor parents the job span on
+        #: (set by note_submit_span)
+        self.span_context: dict | None = None
+        #: finished span records (the submit span immediately; the full
+        #: set once the executor finishes the job)
+        self.spans: list[dict] = []
+        #: spans lost to the executor tracer's bounded ring
+        self.spans_dropped = 0
+        #: events lost to the bounded event ring (exported as
+        #: repro_service_events_dropped_total)
+        self.events_dropped = 0
+        #: called with the drop count whenever ring capacity evicts
+        #: events (the server wires this to ServiceStats)
+        self.on_drop = None
         self._cond = threading.Condition()
         self._events: list[dict] = []
         self._first_seq = 1  # seq of the oldest retained event
         self._next_seq = 1
         self.add_event("job_queued", kind=submission.kind,
-                       label=submission.label, priority=submission.priority)
+                       label=submission.label, priority=submission.priority,
+                       trace_id=self.trace_id)
 
     # -- events -----------------------------------------------------------
 
     def add_event(self, type_: str, **fields) -> None:
+        on_drop = None
+        dropped = 0
         with self._cond:
             record = {"seq": self._next_seq, "t": type_, "ts": time.time()}
             record.update(fields)
@@ -400,7 +422,32 @@ class Job:
                 dropped = len(self._events) - MAX_JOB_EVENTS
                 del self._events[:dropped]
                 self._first_seq = self._events[0]["seq"]
+                self.events_dropped += dropped
+                on_drop = self.on_drop
             self._cond.notify_all()
+        if on_drop is not None:
+            # outside the lock: the hook takes the stats lock
+            on_drop(dropped)
+
+    def note_submit_span(self, started: float) -> None:
+        """Record the HTTP submit as this trace's root span (``started``
+        is the ``time.time()`` the handler began processing) and derive
+        the propagation token the executor adopts."""
+        span = make_span(
+            "http:submit",
+            trace_id=self.trace_id,
+            start=started,
+            dur=time.time() - started,
+            cat="http",
+            attrs={"job": self.id, "kind": self.submission.kind,
+                   "label": self.submission.label},
+        )
+        self.span_context = {
+            "trace_id": self.trace_id,
+            "span_id": span["span_id"],
+        }
+        self.spans.append(span)
+        self.add_event("span", **span)
 
     def events_since(self, since: int) -> tuple[list[dict], int]:
         """Events with ``seq > since`` plus the new cursor; prefixes an
@@ -485,5 +532,8 @@ class Job:
                 "finished": self.finished,
                 "error": self.error,
                 "events": self._next_seq - 1,
+                "events_dropped": self.events_dropped,
+                "trace_id": self.trace_id,
+                "spans": len(self.spans),
                 "result_ready": self.payload is not None,
             }

@@ -9,6 +9,8 @@ executor::
     GET    /v1/jobs/<id>         status document
     GET    /v1/jobs/<id>/events  NDJSON progress stream (?since=&timeout=)
     GET    /v1/jobs/<id>/result  final result (409 until terminal)
+    GET    /v1/jobs/<id>/spans   finished trace spans (submit span
+                                 immediately; the full tree once done)
     DELETE /v1/jobs/<id>         cancel a queued job (409 once running)
     GET    /metrics              Prometheus text (service job families)
     GET    /healthz              liveness (always 200 while serving)
@@ -168,11 +170,15 @@ class VerificationService:
         avg = self.stats.avg_job_seconds() or 1.0
         return max(1, min(600, round(avg * max(1, pending))))
 
-    def submit(self, payload) -> Job:
+    def submit(self, payload, *, received: float | None = None) -> Job:
         if self.draining.is_set():
             raise ProtocolError("server is draining", status=503)
+        if received is None:
+            received = time.time()
         submission = validate_submit(payload)
         job = Job(submission)
+        job.on_drop = self.stats.record_events_dropped
+        job.note_submit_span(received)
         with self._jobs_lock:
             self._jobs[job.id] = job
             self._evict_locked()
@@ -325,6 +331,8 @@ class _Handler(BaseHTTPRequestHandler):
                     return self._serve_result(job)
                 if segments[3] == "events":
                     return self._serve_events(job, query)
+                if segments[3] == "spans":
+                    return self._serve_spans(job)
             self._error(404, f"no route for GET {self.path}")
         except ProtocolError as exc:
             self._error(exc.status, str(exc))
@@ -332,13 +340,14 @@ class _Handler(BaseHTTPRequestHandler):
             pass
 
     def do_POST(self) -> None:  # noqa: N802
+        received = time.time()
         try:
             segments, _query = self._route()
             if segments != ["v1", "jobs"]:
                 return self._error(404, f"no route for POST {self.path}")
             payload = self._read_body()
             try:
-                job = self.service.submit(payload)
+                job = self.service.submit(payload, received=received)
             except QueueFull as exc:
                 return self._error(
                     429,
@@ -387,6 +396,19 @@ class _Handler(BaseHTTPRequestHandler):
             )
         self._error(
             409, f"job {job.id} is {job.state}; result not ready"
+        )
+
+    def _serve_spans(self, job) -> None:
+        self._send_json(
+            200,
+            {
+                "v": PROTOCOL_VERSION,
+                "id": job.id,
+                "trace_id": job.trace_id,
+                "state": job.state,
+                "spans": list(job.spans),
+                "dropped": job.spans_dropped,
+            },
         )
 
     def _serve_events(self, job, query) -> None:

@@ -27,6 +27,7 @@ from ..core.config import ExplorationOptions
 from ..core.parallel import PoolSupervisor
 from ..core.report import to_dict
 from ..obs import Observer, TraceWriter
+from ..obs.spans import SpanTracer
 from ..suite import build_suite_manifest, run_suite
 from ..suite.cache import ResultCache
 from .protocol import CANCELLED, DONE, FAILED, RUNNING, Job
@@ -45,6 +46,7 @@ class ServiceStats:
         self.executions = 0
         self.job_seconds = 0.0
         self.inflight = 0
+        self.events_dropped = 0
 
     def record_submitted(self) -> None:
         with self._lock:
@@ -73,6 +75,10 @@ class ServiceStats:
             self.executions += executions
             self.job_seconds += seconds
 
+    def record_events_dropped(self, count: int) -> None:
+        with self._lock:
+            self.events_dropped += count
+
     def record_cancelled_queued(self) -> None:
         with self._lock:
             self.jobs[CANCELLED] = self.jobs.get(CANCELLED, 0) + 1
@@ -93,6 +99,7 @@ class ServiceStats:
                 "rejected": self.rejected,
                 "cache_hits": self.cache_hits,
                 "executions": self.executions,
+                "events_dropped": self.events_dropped,
                 "uptime_seconds": time.time() - self.started,
             }
 
@@ -214,23 +221,40 @@ class JobExecutor(threading.Thread):
             return  # cancelled while queued, between pop and start
         self.stats.record_started()
         started = time.perf_counter()
-        observer = Observer(trace=TraceWriter(_JobEventSink(job)))
+        writer = TraceWriter(_JobEventSink(job))
+        # every finished span — the job span, suite-task spans, absorbed
+        # worker spans — streams onto the event ring as a t="span" record
+        tracer = SpanTracer(
+            trace_id=job.trace_id,
+            remote_parent=(
+                job.span_context.get("span_id")
+                if job.span_context is not None
+                else None
+            ),
+            on_finish=lambda span: writer.emit("span", **span),
+        )
+        observer = Observer(trace=writer, tracer=tracer)
         try:
             timeout = (
                 job.submission.task_timeout
                 if job.submission.task_timeout is not None
                 else self.task_timeout
             )
-            suite = run_suite(
-                job.submission.tasks,
-                jobs=self.jobs,
-                cache=self.cache,
-                task_timeout=timeout,
-                task_retries=self.task_retries,
-                observer=observer,
-                supervisor=self._pool(),
-            )
+            with tracer.span(
+                f"job:{job.submission.kind}", cat="job", job=job.id
+            ):
+                suite = run_suite(
+                    job.submission.tasks,
+                    jobs=self.jobs,
+                    cache=self.cache,
+                    task_timeout=timeout,
+                    task_retries=self.task_retries,
+                    observer=observer,
+                    supervisor=self._pool(),
+                )
         except Exception as exc:  # noqa: BLE001 - job isolation boundary
+            job.spans.extend(tracer.snapshot())
+            job.spans_dropped = tracer.dropped
             self.stats.record_finished(
                 FAILED, seconds=time.perf_counter() - started
             )
@@ -238,6 +262,8 @@ class JobExecutor(threading.Thread):
             return
         finally:
             observer.close()
+        job.spans.extend(tracer.snapshot())
+        job.spans_dropped = tracer.dropped
         payload = self._payload(job, suite)
         self._maybe_save_run(job, suite)
         self.stats.record_finished(

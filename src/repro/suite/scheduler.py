@@ -57,6 +57,7 @@ from ..litmus.runner import (
 )
 from ..models import MemoryModel, get_model
 from ..obs import NULL_OBSERVER, Observer
+from ..obs.spans import NULL_TRACER, SpanTracer
 from .cache import ResultCache, task_key
 from .result import SuiteResult, TaskResult
 
@@ -158,20 +159,39 @@ def _run_suite_job(payload):
     """Pool entry point: run one whole task or one subtree shard.
 
     ``payload`` is ``(job, attempt, program, model_spec, options,
-    prefix, collect_metrics)``; ``prefix`` None means explore the whole
-    program.  Returns ``(result, metrics snapshot | None)``.
+    prefix, collect_metrics, span_ctx)``; ``prefix`` None means explore
+    the whole program.  Returns ``(result, metrics snapshot | None,
+    spans | None)`` — when a span context rides in, the worker's
+    exploration (and every phase inside it, via the registry's tracer)
+    is recorded as spans parented on the coordinator's suite-task span
+    and shipped back for the coordinator to absorb.
     """
-    job, attempt, program, model_spec, options, prefix, collect = payload
+    job, attempt, program, model_spec, options, prefix, collect, \
+        span_ctx = payload
     _maybe_inject_fault(job, attempt)
-    observer = Observer() if collect else NULL_OBSERVER
+    tracer = NULL_TRACER
+    if span_ctx is not None:
+        tracer = SpanTracer(
+            trace_id=span_ctx["trace_id"],
+            remote_parent=span_ctx["span_id"],
+        )
+    observer = (
+        Observer(tracer=tracer)
+        if collect or tracer.enabled
+        else NULL_OBSERVER
+    )
     try:
-        result = Explorer(
-            program, model_spec, options, observer=observer, root=prefix
-        ).run()
+        with tracer.span(
+            f"explore:{program.name}", cat="worker", job=job, attempt=attempt
+        ):
+            result = Explorer(
+                program, model_spec, options, observer=observer, root=prefix
+            ).run()
     finally:
         observer.close()
     snapshot = observer.metrics_snapshot() if collect else None
-    return result, snapshot
+    spans = tracer.snapshot() if tracer.enabled else None
+    return result, snapshot, spans
 
 
 # -- coordinator side ------------------------------------------------------
@@ -189,6 +209,7 @@ class _Plan:
     partial: VerificationResult | None = None  #: accumulated while splitting
     pieces: dict = field(default_factory=dict)  #: shard index -> result
     remaining: int = 0  #: outstanding pool jobs
+    span: dict | None = None  #: the open suite-task span (tracer on)
 
 
 def _expected(task: SuiteTask) -> bool | None:
@@ -273,6 +294,7 @@ def run_suite(
         store = cache if isinstance(cache, ResultCache) else ResultCache(cache)
 
     obs = observer
+    tracer = obs.tracer
     results: dict[int, TaskResult] = {}
     plans: list[_Plan] = []
 
@@ -296,6 +318,14 @@ def run_suite(
                     served = None
         if served is not None:
             results[pos] = served
+            if tracer.enabled:
+                # a near-instant span so cache hits show on the timeline
+                tracer.end_span(
+                    tracer.start_span(
+                        f"suite:{task.id}", cat="task", cached=True
+                    ),
+                    executions=served.result.executions,
+                )
             if obs.trace_enabled:
                 obs.emit(
                     "suite_task_cached",
@@ -342,6 +372,14 @@ def run_suite(
             verdict=verdict,
             expected=_expected(task),
         )
+        if plan.span is not None:
+            tracer.end_span(
+                plan.span,
+                shards=shards,
+                executions=merged.executions,
+                errors=len(merged.errors),
+            )
+            plan.span = None
         if obs.trace_enabled:
             obs.emit(
                 "suite_task_done",
@@ -387,6 +425,16 @@ def run_suite(
     specs: dict[int, tuple] = {}  # job index -> (plan, shard, options, prefix)
     for plan in sorted(plans, key=lambda p: -p.estimate):
         task = plan.task
+        if tracer.enabled:
+            # a detached span per scheduled task: lifetimes overlap (N
+            # tasks in flight on the pool), so the nesting stack can't
+            # carry them; workers parent their explore spans on it
+            plan.span = tracer.start_span(
+                f"suite:{task.id}",
+                cat="task",
+                kind=task.kind,
+                estimate=round(plan.estimate, 1),
+            )
         if plan.prefixes is None:
             plan.remaining = 1
             specs[len(specs)] = (plan, 0, task.options, None)
@@ -407,9 +455,11 @@ def run_suite(
 
     def _complete(job: int, value) -> bool:
         plan, shard, _options, _prefix = specs[job]
-        result, snapshot = value
+        result, snapshot, spans = value
         if snapshot is not None:
             snapshots.append(snapshot)
+        if spans:
+            tracer.absorb(spans)
         if shard not in plan.pieces:
             plan.pieces[shard] = result
             plan.remaining -= 1
@@ -422,14 +472,22 @@ def run_suite(
 
     def _run_inline(job: int) -> None:
         plan, shard, options, prefix = specs[job]
-        result = Explorer(
-            plan.task.program,
-            plan.task.model,
-            options,
-            observer=obs,
-            root=prefix,
-        ).run()
-        _complete(job, (result, None))
+        with tracer.span(
+            f"explore:{plan.task.program.name}",
+            cat="worker",
+            parent=plan.span,  # mirror the pooled path's remote_parent
+            job=job,
+            task=plan.task.id,
+            inline=True,
+        ):
+            result = Explorer(
+                plan.task.program,
+                plan.task.model,
+                options,
+                observer=obs,
+                root=prefix,
+            ).run()
+        _complete(job, (result, None, None))
 
     pool_jobs = len(specs)
     if jobs > 1 and pool_jobs:
@@ -454,6 +512,14 @@ def run_suite(
         def _payload(job: int):
             plan, _shard, options, prefix = specs[job]
             model_spec = _model_spec(plan.task.model)
+            span_ctx = (
+                {
+                    "trace_id": tracer.trace_id,
+                    "span_id": plan.span["span_id"],
+                }
+                if plan.span is not None
+                else None
+            )
 
             def make(attempt: int):
                 return (
@@ -464,6 +530,7 @@ def run_suite(
                     options,
                     prefix,
                     collect_metrics,
+                    span_ctx,
                 )
 
             return make

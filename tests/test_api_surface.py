@@ -54,6 +54,7 @@ PUBLIC_API = [
     # observability
     "Observer",
     "ProgressReporter",
+    "SpanTracer",
     # the verification service
     "ServiceClient",
     "ServiceError",

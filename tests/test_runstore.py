@@ -199,6 +199,44 @@ class TestDiffAndCheck:
         _, warnings = check_manifest(current, baseline)
         assert warnings == []
 
+    def test_check_flags_baseline_zero_instead_of_passing(self):
+        # a ~zero baseline used to make the ratio None and the
+        # slowdown gate silently pass; now it warns explicitly
+        baseline = make_manifest()
+        baseline["result"]["elapsed"] = 0.0
+        current = copy.deepcopy(baseline)
+        current["result"]["elapsed"] = 3.0
+        violations, warnings = check_manifest(current, baseline)
+        assert violations == []
+        assert any("elapsed baseline-zero" in w for w in warnings)
+        assert not any("elapsed regression" in w for w in warnings)
+
+    def test_check_flags_phase_baseline_zero(self):
+        baseline = make_manifest()
+        baseline["phases"] = {"revisit": {"self": 0.0, "total": 0.0}}
+        current = copy.deepcopy(baseline)
+        current["phases"] = {"revisit": {"self": 2.0, "total": 2.0}}
+        _, warnings = check_manifest(current, baseline)
+        assert any("'revisit' baseline-zero" in w for w in warnings)
+
+    def test_baseline_zero_respects_noise_floor(self):
+        # both sides under the floor: still silent (scheduling noise)
+        baseline = make_manifest()
+        baseline["result"]["elapsed"] = 0.0
+        current = copy.deepcopy(baseline)
+        current["result"]["elapsed"] = 0.04
+        _, warnings = check_manifest(current, baseline)
+        assert warnings == []
+
+    def test_diff_marks_zero_baseline_ratio(self):
+        a = make_manifest()
+        a["result"]["elapsed"] = 0.0
+        b = copy.deepcopy(a)
+        b["result"]["elapsed"] = 1.0
+        diff = diff_manifests(a, b)
+        assert diff["timing"]["elapsed"]["ratio"] is None
+        assert "baseline ~0s: ratio n/a" in format_diff(diff)
+
     def test_check_warns_on_noisy_fields(self):
         baseline = make_manifest()
         current = copy.deepcopy(baseline)

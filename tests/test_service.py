@@ -710,3 +710,269 @@ class TestCliInterrupt:
             lambda _args: (_ for _ in ()).throw(KeyboardInterrupt()),
         )
         assert main(["suite", "run"]) == 130
+
+
+class TestSpansEndToEnd:
+    """Tentpole: one trace_id from HTTP submit to worker subprocess."""
+
+    @pytest.fixture
+    def traced_job(self, tmp_path):
+        # jobs=2 + cache off forces real pool execution so worker
+        # processes contribute span segments under the job's trace
+        svc = VerificationService(port=0, jobs=2, queue_size=8, cache=False)
+        svc.start()
+        try:
+            client = ServiceClient(svc.url)
+            job = client.submit(
+                {
+                    "kind": "suite",
+                    "tests": ["SB", "MP", "LB", "CoRR"],
+                    "models": ["sc", "tso"],
+                }
+            )
+            client.wait(job["id"], timeout=300)
+            yield client, job["id"]
+        finally:
+            svc.stop()
+
+    def test_one_trace_spans_submit_to_worker_phase(self, traced_job):
+        from repro.obs import to_perfetto, validate_perfetto
+
+        client, job_id = traced_job
+        doc = client.spans(job_id)
+        spans = doc["spans"]
+        assert {s["trace_id"] for s in spans} == {doc["trace_id"]}
+        # >= 2 distinct pids: the executor process and pool workers
+        assert len({s["pid"] for s in spans}) >= 2
+        # the submit span is the single root of the whole tree
+        by_id = {s["span_id"]: s for s in spans}
+        roots = [s for s in spans if s.get("parent_id") not in by_id]
+        assert [s["name"] for s in roots] == ["http:submit"]
+        # chain intact: http -> job -> task -> worker -> phase
+        cats = {s["cat"] for s in spans}
+        assert {"http", "job", "task", "worker", "phase"} <= cats
+        phase = next(
+            s
+            for s in spans
+            if s["cat"] == "phase"
+            and by_id[s["parent_id"]]["cat"] == "worker"
+        )
+        chain = [phase["cat"]]
+        cursor = phase
+        while cursor.get("parent_id"):
+            cursor = by_id[cursor["parent_id"]]
+            chain.append(cursor["cat"])
+        assert chain[-1] == "http"
+        # the exported Perfetto document passes the schema check
+        report = validate_perfetto(
+            to_perfetto(spans), trace_id=doc["trace_id"], min_pids=2
+        )
+        assert report["events"] == len(spans)
+
+    def test_event_stream_carries_span_records(self, traced_job):
+        client, job_id = traced_job
+        events = list(client.stream(job_id, timeout=5.0))
+        span_events = [e for e in events if e["t"] == "span"]
+        assert span_events
+        assert all("span_id" in e and "trace_id" in e for e in span_events)
+
+    def test_status_reports_trace_fields(self, traced_job):
+        client, job_id = traced_job
+        status = client.status(job_id)
+        assert status["trace_id"]
+        assert status["spans"] > 0
+        assert status["events_dropped"] == 0
+
+    def test_trace_export_cli_against_service(self, traced_job, tmp_path):
+        from repro.obs import validate_perfetto
+
+        client, job_id = traced_job
+        out = str(tmp_path / "trace.json")
+        code = main(
+            [
+                "trace", "export", "--job", job_id, "--url", client.url,
+                "--perfetto", "-o", out,
+            ]
+        )
+        assert code == 0
+        import json
+
+        with open(out) as handle:
+            doc = json.load(handle)
+        validate_perfetto(doc, min_pids=2)
+
+    def test_trace_flame_cli_against_service(self, traced_job, capsys):
+        client, job_id = traced_job
+        code = main(["trace", "flame", "--job", job_id, "--url", client.url])
+        assert code == 0
+        flame = capsys.readouterr().out
+        assert "http:submit" in flame and "job:suite" in flame
+
+
+class TestEventsDropped:
+    """Satellite: ring eviction is counted, hooked and exported."""
+
+    def test_job_counts_dropped_events(self, monkeypatch):
+        monkeypatch.setattr(protocol, "MAX_JOB_EVENTS", 4)
+        drops = []
+        job = Job(make_submission())
+        job.on_drop = lambda n: drops.append(n)
+        for i in range(10):
+            job.add_event("tick", i=i)
+        assert job.events_dropped == 7
+        assert sum(drops) == 7
+        assert job.status()["events_dropped"] == 7
+
+    def test_stats_accumulate_across_jobs(self):
+        from repro.service.worker import ServiceStats
+
+        stats = ServiceStats()
+        stats.record_events_dropped(3)
+        stats.record_events_dropped(4)
+        assert stats.snapshot()["events_dropped"] == 7
+
+    def test_family_renders_in_metrics(self):
+        text = to_prometheus({}, service={"events_dropped": 12})
+        assert "repro_service_events_dropped_total 12" in text
+        # shape-stable: absent key renders as zero
+        assert (
+            "repro_service_events_dropped_total 0"
+            in to_prometheus({}, service={})
+        )
+
+    def test_submit_wires_the_drop_hook(self, service, client, monkeypatch):
+        monkeypatch.setattr(protocol, "MAX_JOB_EVENTS", 4)
+        job = client.submit({"kind": "litmus", "test": "SB", "model": "sc"})
+        client.wait(job["id"], timeout=60)
+        dropped = service.stats.snapshot()["events_dropped"]
+        assert dropped == service.job(job["id"]).events_dropped
+        assert f"repro_service_events_dropped_total {dropped}" in (
+            client.metrics()
+        )
+
+
+class TestRetryAfterParsing:
+    """Satellite: Retry-After hardening (delta-seconds, HTTP-date,
+    garbage)."""
+
+    def test_delta_seconds(self):
+        from repro.service.client import _parse_retry_after
+
+        assert _parse_retry_after("120") == 120.0
+        assert _parse_retry_after("1.5") == 1.5
+        assert _parse_retry_after("-3") == 0.0
+
+    def test_http_date(self):
+        from email.utils import formatdate
+
+        from repro.service.client import _parse_retry_after
+
+        future = _parse_retry_after(formatdate(time.time() + 60, usegmt=True))
+        assert future is not None and 50.0 <= future <= 70.0
+        past = _parse_retry_after(formatdate(time.time() - 60, usegmt=True))
+        assert past == 0.0
+
+    def test_garbage_degrades_to_none(self):
+        from repro.service.client import _parse_retry_after
+
+        assert _parse_retry_after(None) is None
+        assert _parse_retry_after("") is None
+        assert _parse_retry_after("soon") is None
+        assert _parse_retry_after("Wed, 99 Xxx") is None
+
+    def test_http_error_with_date_header_does_not_raise(self):
+        import io
+        from email.message import Message
+        from email.utils import formatdate
+        from urllib.error import HTTPError
+
+        headers = Message()
+        headers["Retry-After"] = formatdate(time.time() + 30, usegmt=True)
+        exc = HTTPError(
+            "http://x/v1/jobs", 429, "Too Many Requests", headers,
+            io.BytesIO(b'{"error": "queue full"}'),
+        )
+        err = ServiceClient._service_error(exc)
+        assert err.status == 429
+        assert err.retry_after is not None and err.retry_after > 0
+
+
+class TestPrometheusConcurrency:
+    """Satellite: label-escaping round-trips and scrapes while a job
+    is in flight."""
+
+    def test_counter_label_escaping_round_trips(self):
+        from repro.obs import build_manifest
+
+        class FakeResult:
+            program = 'p"rog\\ram\nx'
+            model = "m"
+            executions = 1
+            blocked = 0
+            duplicates = 0
+            errors = ()
+            truncated = False
+            elapsed = 0.0
+            outcomes = {}
+            phase_times = {}
+            meta = {}
+
+            class stats:
+                @staticmethod
+                def as_dict():
+                    return {}
+
+        snapshot = {
+            "counters": {'hit"rate\\per\nsec': 7},
+            "gauges": {},
+            "histograms": {},
+        }
+        text = to_prometheus(build_manifest(FakeResult(), snapshot))
+        line = next(
+            l for l in text.splitlines()
+            if l.startswith("repro_counter_total")
+        )
+        # unescape per the exposition format: the original strings
+        # round-trip through the label values
+        import re
+
+        values = re.findall(r'"((?:[^"\\]|\\.)*)"', line)
+        decoded = [
+            v.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+            for v in values
+        ]
+        assert 'p"rog\\ram\nx' in decoded
+        assert 'hit"rate\\per\nsec' in decoded
+
+    def test_metrics_scrape_during_inflight_job(self, tmp_path):
+        svc = VerificationService(port=0, jobs=1, queue_size=8, cache=False)
+        svc.start()
+        try:
+            client = ServiceClient(svc.url)
+            job = client.submit(
+                {"kind": "suite", "tests": ["SB", "MP"], "models": ["sc"]}
+            )
+            texts, errors = [], []
+
+            def scrape():
+                try:
+                    for _ in range(5):
+                        texts.append(client.metrics())
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=scrape) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            client.wait(job["id"], timeout=120)
+            assert not errors
+            assert len(texts) == 20
+            # every concurrent snapshot is a complete, consistent text
+            for text in texts:
+                assert "repro_service_jobs_total" in text
+                assert "repro_service_events_dropped_total" in text
+                assert text.endswith("\n")
+        finally:
+            svc.stop()
